@@ -1,0 +1,63 @@
+// Command campaign executes declarative experiment manifests: simulate the
+// listed benchmark populations (resuming any already on disk) and run the
+// listed SPA analyses over each, producing a JSON report — the
+// gem5art-style automation layer the paper's Sec. 7 anticipates.
+//
+// Usage:
+//
+//	campaign -init > my.json        # write a template manifest
+//	campaign -manifest my.json -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/manifest"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	path := fs.String("manifest", "", "manifest JSON file")
+	out := fs.String("out", "campaign-out", "output directory for populations and the report")
+	parallel := fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	initTpl := fs.Bool("init", false, "print a template manifest and exit")
+	quiet := fs.Bool("quiet", false, "suppress progress logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *initTpl {
+		return manifest.Template().Save(w)
+	}
+	if *path == "" {
+		return fmt.Errorf("provide -manifest (or -init for a template)")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := manifest.Load(f)
+	if err != nil {
+		return err
+	}
+	runner := &manifest.Runner{OutDir: *out, Parallelism: *parallel}
+	if !*quiet {
+		runner.Log = w
+	}
+	report, err := runner.Run(m)
+	if err != nil {
+		return err
+	}
+	report.Render(w)
+	return nil
+}

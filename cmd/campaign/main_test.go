@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInitTemplate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-init"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"benchmark": "ferret"`) {
+		t.Errorf("template missing content:\n%s", buf.String())
+	}
+}
+
+func TestRequiresManifest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no manifest should error")
+	}
+	if err := run([]string{"-manifest", filepath.Join(t.TempDir(), "missing.json")}, &buf); err == nil {
+		t.Error("missing manifest file should error")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestEndToEndCampaign(t *testing.T) {
+	dir := t.TempDir()
+	mf := filepath.Join(dir, "m.json")
+	js := `{
+ "name": "cli",
+ "seed": 3,
+ "scale": 0.05,
+ "runs": 24,
+ "entries": [{"benchmark": "swaptions"}],
+ "analyses": [{"metric": "runtime_s", "f": 0.5, "c": 0.9}]
+}`
+	if err := os.WriteFile(mf, []byte(js), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	out := filepath.Join(dir, "results")
+	if err := run([]string{"-manifest", mf, "-out", out, "-quiet"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "campaign cli") {
+		t.Errorf("missing report output:\n%s", buf.String())
+	}
+	if _, err := os.Stat(filepath.Join(out, "cli-report.json")); err != nil {
+		t.Errorf("report not written: %v", err)
+	}
+}
+
+func TestInvalidManifestSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	mf := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(mf, []byte(`{"name":"x"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-manifest", mf}, &buf); err == nil {
+		t.Error("invalid manifest should error")
+	}
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper's evaluation: every figure and
+// table of Secs. 5–6 as text tables (see EXPERIMENTS.md for the recorded
+// comparison against the paper).
+//
+// Usage:
+//
+//	experiments -all                # everything, paper-scale (minutes)
+//	experiments -all -quick         # everything, scaled down (seconds)
+//	experiments -exp fig6,fig8
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	all := fs.Bool("all", false, "run every experiment")
+	which := fs.String("exp", "", "comma-separated experiment ids (e.g. fig6,fig8,table1)")
+	quick := fs.Bool("quick", false, "scaled-down sizes (shapes preserved, much faster)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	runs := fs.Int("runs", 0, "override population size per benchmark")
+	trials := fs.Int("trials", 0, "override CI trial count")
+	scale := fs.Float64("scale", 0, "override workload scale")
+	seed := fs.Uint64("seed", 0, "override campaign seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range exp.ExperimentNames() {
+			fmt.Fprintln(w, id)
+		}
+		return nil
+	}
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *seed > 0 {
+		opts.Seed = *seed
+	}
+	engine := exp.NewEngine(opts)
+
+	if *all {
+		return engine.RunAll(w)
+	}
+	if *which == "" {
+		return fmt.Errorf("provide -all or -exp (ids: %s)", strings.Join(exp.ExperimentNames(), ", "))
+	}
+	for _, id := range strings.Split(*which, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		t, err := engine.Run(id)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+	}
+	return nil
+}

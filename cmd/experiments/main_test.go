@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "fig15", "table1", "table2", "minsamples"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("list missing %q", id)
+		}
+	}
+}
+
+func TestRequiresSelection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no -all/-exp should error")
+	}
+	if err := run([]string{"-notaflag"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestSingleCheapExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	// table2 and minsamples need no simulation at all.
+	if err := run([]string{"-exp", "table2, minsamples", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MESI directory") || !strings.Contains(out, "22") {
+		t.Errorf("experiment output incomplete:\n%s", out)
+	}
+}
+
+func TestSimulatedExperimentWithOverrides(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "fig2", "-quick", "-runs", "24", "-trials", "10",
+		"-scale", "0.05", "-seed", "9"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig2") {
+		t.Error("fig2 output missing")
+	}
+	if !strings.Contains(buf.String(), "24 runs") {
+		t.Errorf("runs override not applied:\n%s", buf.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig99", "-quick"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

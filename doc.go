@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Rigorous Evaluation
+// of Computer Processors with Statistical Model Checking" (MICRO 2023):
+// the SMC engine and SPA framework (internal/smc, internal/core), the
+// prior statistical baselines (internal/ci), the property machinery
+// (internal/stl, internal/property), the simulator substrate
+// (internal/sim, internal/workload), and the experiment harness that
+// regenerates every table and figure of the paper's evaluation
+// (internal/exp, cmd/experiments).
+//
+// The root package holds only the benchmark harness (bench_test.go): one
+// testing.B benchmark per paper table/figure plus the ablations listed in
+// DESIGN.md. See README.md for a tour and EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package repro

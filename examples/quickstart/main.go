@@ -1,0 +1,57 @@
+// Quickstart: the push-button SPA flow of the paper's Fig. 3.
+//
+// You provide (1) a way to run one seeded experiment that yields a metric,
+// and (2) the proportion F and confidence C you care about. SPA computes
+// how many executions it needs, runs them in parallel batches, and returns
+// a confidence interval for the metric value at proportion F — with no
+// Gaussian assumption anywhere.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	// The experiment: one simulated execution of the ferret benchmark on
+	// the Table 2 system, returning its runtime. Any seeded, deterministic
+	// experiment works here — a simulator, a testbed harness, anything.
+	cfg := sim.DefaultConfig()
+	runtime := func(seed uint64) (float64, error) {
+		res, err := sim.Run("ferret", cfg, 0.3, seed)
+		if err != nil {
+			return 0, err
+		}
+		return res.Metrics[sim.MetricRuntime], nil
+	}
+
+	// The question: what runtime do 90% of executions stay under, with 90%
+	// confidence? (Property template 1: "runtime ≤ v" at F = 0.9.)
+	params := core.Params{F: 0.9, C: 0.9}
+
+	analysis, err := core.Analyze(runtime, params, core.Options{
+		Batch:    4, // at most 4 simulations in flight, like SPA's batch flag
+		BaseSeed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("executions run: %d (the minimum for F=%.2f, C=%.2f)\n",
+		len(analysis.Samples), params.F, params.C)
+	fmt.Printf("90%% of ferret executions finish within [%.6g s, %.6g s] (confidence 90%%)\n",
+		analysis.Interval.Lo, analysis.Interval.Hi)
+
+	// More executions narrow the interval — rerun with a bigger budget.
+	wider, err := core.Analyze(runtime, params, core.Options{Samples: 120, Batch: 8, BaseSeed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with %d executions the interval narrows to [%.6g s, %.6g s]\n",
+		len(wider.Samples), wider.Interval.Lo, wider.Interval.Hi)
+}

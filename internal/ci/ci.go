@@ -1,0 +1,275 @@
+// Package ci implements the prior-art confidence-interval constructions the
+// paper compares SPA against (Sec. 2.4, 5.4): statistical bootstrapping with
+// the bias-corrected and accelerated (BCa) method, nonparametric rank
+// testing, and the Gaussian Z-score interval. Each method reproduces the
+// failure modes the paper reports — in particular BCa's refusal to produce
+// an interval when the sample contains many duplicate data points
+// (Sec. 6.4, Fig. 15).
+package ci
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// ErrDegenerate reports that a method could not produce an interval from
+// the given sample — the "Null" outcome of the paper's bootstrap bars.
+var ErrDegenerate = errors.New("ci: method failed to produce an interval")
+
+func validate(f, c float64) error {
+	if math.IsNaN(f) || f <= 0 || f >= 1 {
+		return fmt.Errorf("ci: proportion F=%v outside (0,1)", f)
+	}
+	if math.IsNaN(c) || c <= 0 || c >= 1 {
+		return fmt.Errorf("ci: confidence C=%v outside (0,1)", c)
+	}
+	return nil
+}
+
+// BootstrapOptions tunes the bootstrap methods.
+type BootstrapOptions struct {
+	// Resamples is the number of bootstrap resamples B; zero selects 2000.
+	Resamples int
+	// Seed drives the resampling RNG; bootstrap CIs are deterministic
+	// given the seed.
+	Seed uint64
+}
+
+func (o BootstrapOptions) resamples() int {
+	if o.Resamples <= 0 {
+		return 2000
+	}
+	return o.Resamples
+}
+
+// bootstrapDistribution draws B resamples (with replacement) and returns
+// the sorted F-quantile statistics.
+func bootstrapDistribution(samples []float64, f float64, b int, r *randx.Rand) []float64 {
+	n := len(samples)
+	thetas := make([]float64, b)
+	buf := make([]float64, n)
+	for i := 0; i < b; i++ {
+		for j := range buf {
+			buf[j] = samples[r.Intn(n)]
+		}
+		sort.Float64s(buf)
+		thetas[i] = stats.QuantileSorted(buf, f)
+	}
+	sort.Float64s(thetas)
+	return thetas
+}
+
+// BootstrapPercentile builds the plain percentile bootstrap CI for the
+// F-quantile at confidence c. It is provided as the simpler baseline; the
+// paper's comparisons use BCa.
+func BootstrapPercentile(samples []float64, f, c float64, opts BootstrapOptions) (stats.Interval, error) {
+	if err := validate(f, c); err != nil {
+		return stats.Interval{}, err
+	}
+	if len(samples) < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	r := randx.New(opts.Seed)
+	thetas := bootstrapDistribution(samples, f, opts.resamples(), r)
+	alpha := (1 - c) / 2
+	return stats.Interval{
+		Lo: stats.QuantileSorted(thetas, math.Max(alpha, 1e-12)),
+		Hi: stats.QuantileSorted(thetas, math.Min(1-alpha, 1)),
+	}, nil
+}
+
+// BootstrapBCa builds the bias-corrected and accelerated bootstrap CI
+// (Efron & Tibshirani) for the F-quantile at confidence c — the method the
+// paper identifies as the strongest prior technique (Sec. 5.4).
+//
+// BCa fails with ErrDegenerate in exactly the situations the paper studies
+// in Sec. 6.4:
+//   - the bias correction z₀ is infinite because every (or no) resample
+//     statistic falls below the point estimate — the common outcome when
+//     duplicate data collapses the bootstrap distribution onto θ̂; or
+//   - the acceleration is undefined because all jackknife leave-one-out
+//     statistics are identical (again typical of duplicate-heavy samples,
+//     e.g. integer metrics such as max load latency, or values rounded to
+//     3 decimals as in Fig. 15).
+func BootstrapBCa(samples []float64, f, c float64, opts BootstrapOptions) (stats.Interval, error) {
+	if err := validate(f, c); err != nil {
+		return stats.Interval{}, err
+	}
+	n := len(samples)
+	if n < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	thetaHat, err := stats.Quantile(samples, f)
+	if err != nil {
+		return stats.Interval{}, err
+	}
+
+	r := randx.New(opts.Seed)
+	b := opts.resamples()
+	thetas := bootstrapDistribution(samples, f, b, r)
+
+	// Bias correction z0 from the proportion of resample statistics
+	// strictly below the point estimate.
+	below := sort.SearchFloat64s(thetas, thetaHat) // count of θ* < θ̂
+	if below == 0 || below == b {
+		return stats.Interval{}, fmt.Errorf(
+			"%w: bias correction undefined (%d/%d resample statistics below the estimate)",
+			ErrDegenerate, below, b)
+	}
+	z0 := numeric.NormalQuantile(float64(below) / float64(b))
+
+	// Acceleration from the jackknife.
+	jack := make([]float64, n)
+	loo := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		loo = loo[:0]
+		loo = append(loo, samples[:i]...)
+		loo = append(loo, samples[i+1:]...)
+		q, err := stats.Quantile(loo, f)
+		if err != nil {
+			return stats.Interval{}, err
+		}
+		jack[i] = q
+	}
+	jackMean := stats.Mean(jack)
+	var num, den float64
+	for _, v := range jack {
+		d := jackMean - v
+		num += d * d * d
+		den += d * d
+	}
+	if den == 0 {
+		return stats.Interval{}, fmt.Errorf(
+			"%w: acceleration undefined (all jackknife statistics identical; duplicate-heavy sample)",
+			ErrDegenerate)
+	}
+	a := num / (6 * math.Pow(den, 1.5))
+
+	// Adjusted percentile levels.
+	alpha := (1 - c) / 2
+	zLo := numeric.NormalQuantile(alpha)
+	zHi := numeric.NormalQuantile(1 - alpha)
+	adj := func(z float64) (float64, error) {
+		t := z0 + z
+		d := 1 - a*t
+		if d <= 0 {
+			return 0, fmt.Errorf("%w: BCa percentile adjustment diverged", ErrDegenerate)
+		}
+		return numeric.NormalCDF(z0 + t/d), nil
+	}
+	a1, err := adj(zLo)
+	if err != nil {
+		return stats.Interval{}, err
+	}
+	a2, err := adj(zHi)
+	if err != nil {
+		return stats.Interval{}, err
+	}
+	if a1 > a2 {
+		a1, a2 = a2, a1
+	}
+	return stats.Interval{
+		Lo: stats.QuantileSorted(thetas, math.Max(a1, 1e-12)),
+		Hi: stats.QuantileSorted(thetas, math.Min(math.Max(a2, 1e-12), 1)),
+	}, nil
+}
+
+// RankCI builds the rank-based (order statistic) CI for the F-quantile
+// using the large-sample normal approximation of the rank distribution —
+// the construction the paper attributes to prior work [10, 26] and notes
+// "requires the Gaussian assumption" for comparing rank statistics
+// (Sec. 2.4). The selected ranks are
+//
+//	l = ⌈nF − z·√(nF(1−F))⌉,  u = ⌈nF + z·√(nF(1−F))⌉,  z = Φ⁻¹((1+C)/2),
+//
+// clamped to [1, n]. The approximation is inaccurate for small n or
+// duplicate-heavy samples, which is exactly the failure the paper measures.
+func RankCI(samples []float64, f, c float64) (stats.Interval, error) {
+	if err := validate(f, c); err != nil {
+		return stats.Interval{}, err
+	}
+	n := len(samples)
+	if n < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	z := numeric.NormalQuantile((1 + c) / 2)
+	nf := float64(n) * f
+	half := z * math.Sqrt(nf*(1-f))
+	l := int(math.Ceil(nf - half))
+	u := int(math.Ceil(nf + half))
+	if l < 1 {
+		l = 1
+	}
+	if u > n {
+		u = n
+	}
+	if l > u {
+		return stats.Interval{}, fmt.Errorf("%w: rank bounds crossed (n=%d too small for F=%g)", ErrDegenerate, n, f)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return stats.Interval{Lo: sorted[l-1], Hi: sorted[u-1]}, nil
+}
+
+// RankCIExact builds the order-statistic CI for the F-quantile using exact
+// binomial tail bounds with an α/2 split per side (the distribution-free
+// construction of Gibbons & Chakraborti). Provided for completeness beside
+// the normal-approximation RankCI the paper's comparison uses.
+func RankCIExact(samples []float64, f, c float64) (stats.Interval, error) {
+	if err := validate(f, c); err != nil {
+		return stats.Interval{}, err
+	}
+	n := len(samples)
+	if n < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	alpha := (1 - c) / 2
+	// l: largest rank with P(B ≤ l−1) ≤ α/2, so P(x_(l) > θ) ≤ α/2.
+	l := 1
+	for k := 1; k <= n; k++ {
+		if numeric.BinomialCDF(k-1, n, f) <= alpha {
+			l = k
+		} else {
+			break
+		}
+	}
+	// u: smallest rank with P(B ≥ u) ≤ α/2 ⟺ P(B ≤ u−1) ≥ 1−α/2.
+	u := n
+	for k := n; k >= 1; k-- {
+		if 1-numeric.BinomialCDF(k-1, n, f) <= alpha {
+			u = k
+		} else {
+			break
+		}
+	}
+	if l > u {
+		return stats.Interval{}, fmt.Errorf("%w: exact rank bounds crossed (n=%d, F=%g)", ErrDegenerate, n, f)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return stats.Interval{Lo: sorted[l-1], Hi: sorted[u-1]}, nil
+}
+
+// ZScoreCI builds the Gaussian-assumption interval x̄ ± z·s/√n at
+// confidence c (Sec. 2.4). Under the Gaussian assumption the mean equals
+// every central quantile, so the paper applies this method only at the
+// median (F = 0.5); callers pass no F.
+func ZScoreCI(samples []float64, c float64) (stats.Interval, error) {
+	if err := validate(0.5, c); err != nil {
+		return stats.Interval{}, err
+	}
+	n := len(samples)
+	if n < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	mean := stats.Mean(samples)
+	se := stats.StdDev(samples) / math.Sqrt(float64(n))
+	z := numeric.NormalQuantile((1 + c) / 2)
+	return stats.Interval{Lo: mean - z*se, Hi: mean + z*se}, nil
+}

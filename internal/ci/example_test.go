@@ -1,0 +1,25 @@
+package ci_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ci"
+)
+
+// BCa bootstrapping fails on duplicate-heavy data (the paper's Sec. 6.4) —
+// the error is typed so callers can count "Null" outcomes.
+func ExampleBootstrapBCa() {
+	duplicates := []float64{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}
+	_, err := ci.BootstrapBCa(duplicates, 0.5, 0.9, ci.BootstrapOptions{Seed: 1})
+	fmt.Println(errors.Is(err, ci.ErrDegenerate))
+	// Output: true
+}
+
+// The rank CI is just two order statistics — no resampling at all.
+func ExampleRankCI() {
+	xs := []float64{22, 1, 5, 9, 13, 3, 7, 11, 15, 17, 19, 21, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	iv, _ := ci.RankCI(xs, 0.5, 0.9)
+	fmt.Printf("[%g, %g]\n", iv.Lo, iv.Hi)
+	// Output: [8, 15]
+}

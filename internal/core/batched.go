@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/smc"
+)
+
+// BatchedResult is the outcome of CheckBatched: the sequential SMC verdict
+// plus the execution accounting the batching introduces.
+type BatchedResult struct {
+	smc.Result
+	// Launched counts executions actually run; up to Batch−1 more than
+	// Result.Samples, since a batch in flight when the verdict lands is
+	// still paid for (the Sec. 4.3 trade: wall-clock for a few extra
+	// simulations).
+	Launched int
+}
+
+// CheckBatched is the paper's Fig. 3 operating loop: sequentially test the
+// property "pred(metric)" at proportion p.F and confidence p.C, launching
+// executions in parallel batches instead of one at a time. Outcomes are
+// consumed in seed order, so the verdict and its sample count are
+// *identical* to the strictly sequential Algorithm 1 — batching only
+// changes wall-clock time and may waste at most Batch−1 executions.
+//
+// opts.Samples bounds the total executions (0 means 4096); exhausting it
+// returns the partial result with smc.ErrSampleBudget.
+func CheckBatched(run RunFunc, pred func(float64) bool, p Params, opts Options) (BatchedResult, error) {
+	if err := p.validate(); err != nil {
+		return BatchedResult{}, err
+	}
+	if run == nil {
+		return BatchedResult{}, errors.New("core: nil RunFunc")
+	}
+	if pred == nil {
+		return BatchedResult{}, errors.New("core: nil predicate")
+	}
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = 8
+	}
+	budget := opts.Samples
+	if budget <= 0 {
+		budget = 4096
+	}
+
+	var (
+		m, n     int
+		launched int
+	)
+	for launched < budget {
+		size := batch
+		if launched+size > budget {
+			size = budget - launched
+		}
+		values, err := Collect(run, opts.BaseSeed+uint64(launched), size, size)
+		if err != nil {
+			return BatchedResult{}, err
+		}
+		launched += size
+		// Consume in seed order, exactly as Algorithm 1 would.
+		for _, v := range values {
+			n++
+			if pred(v) {
+				m++
+			}
+			assertion, conf := smc.Confidence(m, n, p.F)
+			if conf >= p.C {
+				return BatchedResult{
+					Result: smc.Result{
+						Assertion: assertion, Confidence: conf,
+						Satisfied: m, Samples: n,
+					},
+					Launched: launched,
+				}, nil
+			}
+		}
+	}
+	assertion, conf := smc.Confidence(m, n, p.F)
+	return BatchedResult{
+			Result: smc.Result{
+				Assertion: smc.Inconclusive, Confidence: conf,
+				Satisfied: m, Samples: n,
+			},
+			Launched: launched,
+		}, fmt.Errorf("%w (last assertion %v at C_CP=%.4f after %d executions)",
+			smc.ErrSampleBudget, assertion, conf, launched)
+}

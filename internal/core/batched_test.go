@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/smc"
+)
+
+// bernoulliMetric yields 1.0 with probability p and 0.0 otherwise,
+// deterministically per seed.
+func bernoulliMetric(p float64) RunFunc {
+	return func(seed uint64) (float64, error) {
+		if randx.New(seed).Bernoulli(p) {
+			return 1, nil
+		}
+		return 0, nil
+	}
+}
+
+func isOne(v float64) bool { return v == 1 }
+
+func TestCheckBatchedMatchesSequential(t *testing.T) {
+	// The batched loop must return the exact verdict and sample count of
+	// the strictly sequential Algorithm 1 over the same seed order.
+	run := bernoulliMetric(0.97)
+	p := Params{F: 0.9, C: 0.9}
+
+	seq := uint64(0)
+	sampler := smc.SamplerFunc(func() (bool, error) {
+		v, err := run(seq)
+		seq++
+		return isOne(v), err
+	})
+	want, err := smc.CheckSequential(sampler, p.F, p.C, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range []int{1, 4, 7, 32} {
+		got, err := CheckBatched(run, isOne, p, Options{Batch: batch})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if got.Assertion != want.Assertion || got.Samples != want.Samples || got.Satisfied != want.Satisfied {
+			t.Errorf("batch %d: %+v differs from sequential %+v", batch, got.Result, want)
+		}
+		if got.Launched < got.Samples || got.Launched >= got.Samples+batch {
+			t.Errorf("batch %d: launched %d outside [samples, samples+batch): %d",
+				batch, got.Launched, got.Samples)
+		}
+	}
+}
+
+func TestCheckBatchedClearNegative(t *testing.T) {
+	got, err := CheckBatched(bernoulliMetric(0.05), isOne, Params{F: 0.9, C: 0.9}, Options{Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Assertion != smc.Negative {
+		t.Errorf("p=0.05 vs F=0.9 should assert negative, got %+v", got.Result)
+	}
+	if got.Samples > 8 {
+		t.Errorf("clear negative should converge fast, used %d samples", got.Samples)
+	}
+}
+
+func TestCheckBatchedBudget(t *testing.T) {
+	// p exactly at F never converges; the budget must surface.
+	res, err := CheckBatched(bernoulliMetric(0.9), isOne, Params{F: 0.9, C: 0.9999}, Options{Batch: 8, Samples: 24})
+	if !errors.Is(err, smc.ErrSampleBudget) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	if res.Launched != 24 || res.Assertion != smc.Inconclusive {
+		t.Errorf("partial result %+v", res)
+	}
+}
+
+func TestCheckBatchedValidation(t *testing.T) {
+	p := Params{F: 0.9, C: 0.9}
+	if _, err := CheckBatched(nil, isOne, p, Options{}); err == nil {
+		t.Error("nil run should error")
+	}
+	if _, err := CheckBatched(bernoulliMetric(0.5), nil, p, Options{}); err == nil {
+		t.Error("nil predicate should error")
+	}
+	if _, err := CheckBatched(bernoulliMetric(0.5), isOne, Params{F: 2, C: 0.9}, Options{}); err == nil {
+		t.Error("bad params should error")
+	}
+	boom := errors.New("boom")
+	bad := func(uint64) (float64, error) { return 0, boom }
+	if _, err := CheckBatched(bad, isOne, p, Options{}); !errors.Is(err, boom) {
+		t.Errorf("run error should propagate, got %v", err)
+	}
+}

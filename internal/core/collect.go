@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// RunFunc executes one experiment (typically a simulation) with the given
+// seed and returns the metric of interest. Implementations must be safe for
+// concurrent use: SPA launches batches of executions in parallel
+// (Sec. 4.3). Determinism is the caller's contract — the same seed must
+// yield the same metric — which is what makes SPA campaigns replicable.
+type RunFunc func(seed uint64) (float64, error)
+
+// Collect runs n executions with seeds baseSeed+0 … baseSeed+n−1, at most
+// batch at a time in parallel (batch ≤ 0 means fully parallel), and returns
+// the metrics ordered by seed offset. The ordering guarantee means the
+// result is independent of goroutine scheduling, preserving replicability.
+// The first execution error, if any, is returned after the batch drains.
+func Collect(run RunFunc, baseSeed uint64, n, batch int) ([]float64, error) {
+	if run == nil {
+		return nil, errors.New("core: nil RunFunc")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: non-positive sample count %d", n)
+	}
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	out := make([]float64, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, batch)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = run(baseSeed + uint64(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: execution with seed %d: %w", baseSeed+uint64(i), err)
+		}
+	}
+	return out, nil
+}
+
+// Analysis is the full result of a push-button SPA run.
+type Analysis struct {
+	Params     Params
+	Samples    []float64      // collected metrics, ordered by seed offset
+	Interval   stats.Interval // the SPA confidence interval
+	MinSamples int            // minimum executions required by (F, C)
+}
+
+// Options tunes Analyze.
+type Options struct {
+	// Samples is the number of executions to run; zero means exactly the
+	// minimum required by (F, C) (eq. 8). More samples narrow the interval.
+	Samples int
+	// Batch bounds parallel in-flight executions; zero means run all of a
+	// campaign concurrently.
+	Batch int
+	// BaseSeed seeds the campaign; run i uses BaseSeed+i.
+	BaseSeed uint64
+}
+
+// Analyze is the push-button entry point of the SPA framework: it computes
+// the minimum sample count for (F, C), collects that many executions in
+// parallel batches, and returns the confidence interval for the metric at
+// proportion F. This is the end-to-end flow of the paper's Fig. 3.
+func Analyze(run RunFunc, p Params, opts Options) (*Analysis, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	minN, err := CIMinSamples(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: computing minimum samples: %w", err)
+	}
+	n := opts.Samples
+	if n <= 0 {
+		n = minN
+	}
+	if n < minN {
+		return nil, fmt.Errorf("%w: requested %d executions, (F=%g, C=%g) needs at least %d",
+			ErrInsufficientSamples, n, p.F, p.C, minN)
+	}
+	samples, err := Collect(run, opts.BaseSeed, n, opts.Batch)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := ConfidenceInterval(samples, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Params: p, Samples: samples, Interval: iv, MinSamples: minN}, nil
+}

@@ -1,0 +1,19 @@
+// Package core implements SPA — SMC for Processor Analysis — the paper's
+// primary contribution (Sec. 4). SPA wraps the SMC engine of internal/smc
+// with the three capabilities architects need:
+//
+//  1. Confidence intervals from SMC (Sec. 4.1): repeated fixed-sample
+//     hypothesis tests at different property thresholds over the *same*
+//     sample set are composed into a confidence interval for the metric
+//     value at proportion F.
+//  2. Engine management (Sec. 4.2): SPA generates the property thresholds
+//     itself, searching outward from an initial estimate at a configurable
+//     granularity until it finds the largest validated and smallest
+//     invalidated thresholds. An exact order-statistic construction —
+//     the granularity→0 limit of the search — is also provided and is the
+//     default.
+//  3. Parallel sample collection (Sec. 4.3): the minimum number of
+//     executions for (F, C) is computed up front (22 for F = C = 0.9) and
+//     executions are launched in parallel batches, each seeded
+//     deterministically so campaigns are replicable.
+package core

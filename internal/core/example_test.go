@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// The SPA confidence interval: with 90% confidence, 90% of executions have
+// a metric value at most the interval's upper bound and the interval pins
+// the F = 0.9 population value.
+func ExampleConfidenceInterval() {
+	r := randx.New(1)
+	samples := make([]float64, 29) // SPA's two-sided minimum at F=C=0.9
+	for i := range samples {
+		samples[i] = 100 + r.Normal(0, 5)
+	}
+	iv, _ := core.ConfidenceInterval(samples, core.Params{F: 0.9, C: 0.9})
+	fmt.Println(iv.Lo < iv.Hi, iv.Contains(106))
+	// Output: true true
+}
+
+// A direct hypothesis test (property template 1): is the metric at most
+// 1.1 for at least 80% of executions?
+func ExampleHypothesisTest() {
+	samples := []float64{1.0, 1.02, 1.05, 1.01, 1.03, 1.04, 1.02, 1.06, 1.03, 1.01, 1.05, 1.02}
+	res, _ := core.HypothesisTest(samples, 1.1, core.Params{F: 0.8, C: 0.9})
+	fmt.Printf("%s (%d/%d)\n", res.Assertion, res.Satisfied, res.Samples)
+	// Output: positive (12/12)
+}
+
+// CIMinSamples reports how many executions a campaign must run before a
+// confidence interval can exist at all.
+func ExampleCIMinSamples() {
+	n, _ := core.CIMinSamples(core.Params{F: 0.9, C: 0.9})
+	paper, _ := core.CIMinSamples(core.Params{F: 0.9, C: 0.9, Composition: core.PerSideC})
+	fmt.Println(n, paper)
+	// Output: 29 22
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/smc"
+	"repro/internal/stats"
+)
+
+// Direction selects the comparison used in the scalar property
+// "metric ⋈ threshold" that SPA sweeps to build a confidence interval.
+type Direction int
+
+const (
+	// AtMost uses φ_v(x) = (x ≤ v): "the metric is no more than v".
+	// With proportion F this targets the F-quantile of the metric.
+	AtMost Direction = iota
+	// AtLeast uses φ_v(x) = (x ≥ v): "the metric is at least v".
+	// With proportion F this targets the value exceeded by an F fraction
+	// of executions (the (1−F) inverted-CDF quantile).
+	AtLeast
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == AtLeast {
+		return "at-least"
+	}
+	return "at-most"
+}
+
+// Composition selects how the two opposing one-sided hypothesis tests are
+// composed into a two-sided confidence interval (Sec. 4.1).
+type Composition int
+
+const (
+	// BonferroniSplit (the default) runs each one-sided test at level
+	// 1−(1−C)/2, so the union bound over the two disjoint miss events
+	// guarantees two-sided coverage ≥ C. The paper's text composes the
+	// interval "between any two hypothesis tests yielding opposing results
+	// with confidence greater than C", which only guarantees coverage
+	// 2C−1; the error probabilities the paper actually measures for SPA
+	// (0.065 at the median for C = 0.9, Fig. 6) match the split level, so
+	// we make the coverage-correct variant the default. See EXPERIMENTS.md.
+	BonferroniSplit Composition = iota
+	// PerSideC runs each one-sided test at level C, literally as written
+	// in Sec. 4.1. The resulting interval is narrower but only guarantees
+	// coverage 2C−1. Kept for the ablation benchmark.
+	PerSideC
+)
+
+// Params configures an SPA analysis.
+type Params struct {
+	// F is the proportion of executions that must satisfy the property
+	// (paper Sec. 4.4: F = 0.5 targets the median, larger F the tails).
+	F float64
+	// C is the requested confidence level in (0, 1).
+	C float64
+	// Direction chooses the property comparison; the default AtMost
+	// estimates the F-quantile.
+	Direction Direction
+	// Composition selects the two-sided composition rule; the default
+	// BonferroniSplit guarantees coverage ≥ C.
+	Composition Composition
+	// Granularity is the threshold step of the sweep-based search
+	// (Sec. 4.2). Zero selects 1/1000 of the sample range. The exact
+	// order-statistic construction ignores it.
+	Granularity float64
+}
+
+// sideLevel returns the confidence level each one-sided test must reach.
+func (p Params) sideLevel() float64 {
+	if p.Composition == PerSideC {
+		return p.C
+	}
+	return 1 - (1-p.C)/2
+}
+
+func (p Params) validate() error {
+	if math.IsNaN(p.F) || p.F <= 0 || p.F >= 1 {
+		return fmt.Errorf("core: proportion F=%v outside (0,1)", p.F)
+	}
+	if math.IsNaN(p.C) || p.C <= 0 || p.C >= 1 {
+		return fmt.Errorf("core: confidence C=%v outside (0,1)", p.C)
+	}
+	if p.Granularity < 0 {
+		return errors.New("core: negative granularity")
+	}
+	return nil
+}
+
+// ErrInsufficientSamples reports that the sample set is smaller than the
+// minimum required for the hypothesis tests at (F, C) to converge in both
+// directions (paper eq. 8), so no confidence interval exists.
+var ErrInsufficientSamples = errors.New("core: not enough samples for requested F and C")
+
+// ConfidenceInterval builds the SPA confidence interval for the metric at
+// proportion p.F with confidence p.C, using the exact order-statistic
+// construction.
+//
+// The construction is the granularity→0 limit of the paper's threshold
+// search: for the AtMost property the satisfied count M(v) = #{x ≤ v} steps
+// through 0..N as v crosses the sorted sample values, and the
+// Clopper–Pearson verdict depends on v only through M(v). Let mNeg be the
+// largest M whose test converges negative and mPos the smallest M whose
+// test converges positive. Every threshold strictly below the (mNeg+1)-th
+// order statistic is invalidated, every threshold at or above the mPos-th
+// order statistic is validated, and thresholds in between yield "None"
+// (paper Fig. 4's unshaded band). The interval is therefore
+//
+//	[ x_(mNeg+1) , x_(mPos) ]
+//
+// in 1-based order statistics, which is exactly what the paper's search
+// returns as [V_lower, V_upper] when the granularity is fine enough.
+func ConfidenceInterval(samples []float64, p Params) (stats.Interval, error) {
+	if err := p.validate(); err != nil {
+		return stats.Interval{}, err
+	}
+	if p.Direction == AtLeast {
+		// φ: x ≥ v  ⟺  (−x) ≤ (−v); reflect, solve AtMost, reflect back.
+		neg := make([]float64, len(samples))
+		for i, x := range samples {
+			neg[i] = -x
+		}
+		q := p
+		q.Direction = AtMost
+		iv, err := ConfidenceInterval(neg, q)
+		if err != nil {
+			return stats.Interval{}, err
+		}
+		return stats.Interval{Lo: -iv.Hi, Hi: -iv.Lo}, nil
+	}
+
+	n := len(samples)
+	mNeg, mPos, err := convergenceBounds(n, p.F, p.sideLevel())
+	if err != nil {
+		return stats.Interval{}, err
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return stats.Interval{Lo: sorted[mNeg], Hi: sorted[mPos-1]}, nil
+}
+
+// convergenceBounds returns mNeg (largest satisfied-count with a converged
+// negative verdict) and mPos (smallest with a converged positive verdict)
+// for sample size n. Convergence means C_CP ≥ c (see the note on
+// smc.CheckFixed). It returns ErrInsufficientSamples when either side
+// cannot converge at all.
+func convergenceBounds(n int, f, c float64) (mNeg, mPos int, err error) {
+	if n == 0 {
+		return 0, 0, fmt.Errorf("%w: empty sample", ErrInsufficientSamples)
+	}
+	// Negative-side confidence decreases as M grows toward F·N, so scan up
+	// from 0; positive-side confidence decreases as M shrinks toward F·N,
+	// so scan down from N. Both scans are O(N) with O(1) beta evaluations.
+	if a, conf := smc.Confidence(0, n, f); a != smc.Negative || conf < c {
+		return 0, 0, fmt.Errorf("%w: even M=0 cannot assert negative at C=%v with N=%d (need %s)",
+			ErrInsufficientSamples, c, n, minSamplesHint(f, c))
+	}
+	if a, conf := smc.Confidence(n, n, f); a != smc.Positive || conf < c {
+		return 0, 0, fmt.Errorf("%w: even M=N cannot assert positive at C=%v with N=%d (need %s)",
+			ErrInsufficientSamples, c, n, minSamplesHint(f, c))
+	}
+	mNeg = 0
+	for m := 1; m <= n; m++ {
+		a, conf := smc.Confidence(m, n, f)
+		if a != smc.Negative || conf < c {
+			break
+		}
+		mNeg = m
+	}
+	mPos = n
+	for m := n - 1; m >= 0; m-- {
+		a, conf := smc.Confidence(m, n, f)
+		if a != smc.Positive || conf < c {
+			break
+		}
+		mPos = m
+	}
+	return mNeg, mPos, nil
+}
+
+func minSamplesHint(f, c float64) string {
+	if n, err := smc.MinSamples(f, c); err == nil {
+		return fmt.Sprintf("≥%d samples", n)
+	}
+	return "more samples"
+}
+
+// CIMinSamples returns the minimum number of executions for which the
+// confidence-interval construction can succeed under p's composition rule.
+// For PerSideC this equals smc.MinSamples(F, C) — the paper's eq. 8 count
+// (22 at F = C = 0.9); the coverage-correct BonferroniSplit needs the
+// eq. 8 count at the split level (29 at F = C = 0.9).
+func CIMinSamples(p Params) (int, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	return smc.MinSamples(p.F, p.sideLevel())
+}
+
+// HypothesisTest runs a single fixed-sample SMC test of the direct property
+// "metric ⋈ threshold" on the samples (the trivial path of Sec. 4.2, used
+// when the architect supplies the property herself).
+func HypothesisTest(samples []float64, threshold float64, p Params) (smc.Result, error) {
+	if err := p.validate(); err != nil {
+		return smc.Result{}, err
+	}
+	pred := func(x float64) bool { return x <= threshold }
+	if p.Direction == AtLeast {
+		pred = func(x float64) bool { return x >= threshold }
+	}
+	return smc.CheckValues(samples, pred, p.F, p.C)
+}
+
+// PositiveConfidence returns the one-sided confidence that P(φ) ≥ F given M
+// successes out of N — the quantity plotted per threshold in the paper's
+// Fig. 4. Values above C converge to positive; values below 1−C indicate
+// the negative test converged; the band between is "None".
+func PositiveConfidence(m, n int, f float64) float64 {
+	switch {
+	case n <= 0 || m < 0 || m > n:
+		return math.NaN()
+	case m == 0:
+		return 0
+	case m == n:
+		return 1 - math.Pow(f, float64(n))
+	default:
+		return 1 - numeric.BetaCDF(f, float64(m), float64(n-m)+1)
+	}
+}
+
+// ThresholdPoint is one point of a threshold sweep (Fig. 4).
+type ThresholdPoint struct {
+	Threshold    float64
+	Satisfied    int           // M at this threshold
+	PositiveConf float64       // one-sided positive confidence (the plotted value)
+	Assertion    smc.Assertion // converged verdict, or Inconclusive
+}
+
+// ThresholdSweep evaluates the fixed-sample SMC test at each threshold and
+// returns the per-threshold confidences, reproducing the data behind the
+// paper's Fig. 4.
+func ThresholdSweep(samples []float64, thresholds []float64, p Params) ([]ThresholdPoint, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]ThresholdPoint, len(thresholds))
+	for i, v := range thresholds {
+		res, err := HypothesisTest(samples, v, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ThresholdPoint{
+			Threshold:    v,
+			Satisfied:    res.Satisfied,
+			PositiveConf: PositiveConfidence(res.Satisfied, res.Samples, p.F),
+			Assertion:    res.Assertion,
+		}
+	}
+	return out, nil
+}

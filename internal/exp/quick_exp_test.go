@@ -1,0 +1,16 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+func TestQuickRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	e := NewEngine(QuickOptions())
+	if err := e.RunAll(os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}

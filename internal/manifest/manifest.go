@@ -1,0 +1,184 @@
+// Package manifest provides declarative experiment campaigns: a JSON
+// manifest names the benchmark/variant populations to simulate and the SPA
+// analyses to run on them, and the runner executes it with resume support
+// (populations already on disk are loaded, not re-simulated). This is the
+// reproducible-workflow layer the paper points to in Sec. 7 (gem5art) as
+// the natural companion of SPA.
+package manifest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Analysis is one SPA question asked of every population in the campaign.
+type Analysis struct {
+	// Metric is the simulator metric name (e.g. "runtime_s").
+	Metric string `json:"metric"`
+	// F is the population proportion; C the confidence.
+	F float64 `json:"f"`
+	C float64 `json:"c"`
+	// Direction is "atmost" (default) or "atleast".
+	Direction string `json:"direction,omitempty"`
+}
+
+// Params converts the analysis to SPA parameters.
+func (a Analysis) Params() (core.Params, error) {
+	p := core.Params{F: a.F, C: a.C}
+	switch a.Direction {
+	case "", "atmost":
+		p.Direction = core.AtMost
+	case "atleast":
+		p.Direction = core.AtLeast
+	default:
+		return core.Params{}, fmt.Errorf("manifest: unknown direction %q", a.Direction)
+	}
+	return p, nil
+}
+
+// Entry is one population to simulate.
+type Entry struct {
+	Benchmark string `json:"benchmark"`
+	// Variant is "default", "hardware", "l2half" or "l2double".
+	Variant string `json:"variant,omitempty"`
+	// Runs overrides the manifest-level run count when positive.
+	Runs int `json:"runs,omitempty"`
+}
+
+// Config resolves the entry's simulator configuration.
+func (e Entry) Config() (sim.Config, error) {
+	switch e.Variant {
+	case "", "default":
+		return sim.DefaultConfig(), nil
+	case "hardware":
+		return sim.HardwareLikeConfig(), nil
+	case "l2half":
+		cfg := sim.DefaultConfig()
+		cfg.L2Size = 512 * 1024
+		return cfg, nil
+	case "l2double":
+		cfg := sim.DefaultConfig()
+		cfg.L2Size = 1024 * 1024
+		return cfg, nil
+	default:
+		return sim.Config{}, fmt.Errorf("manifest: unknown variant %q", e.Variant)
+	}
+}
+
+// key identifies the entry's population file.
+func (e Entry) key() string {
+	v := e.Variant
+	if v == "" {
+		v = "default"
+	}
+	return fmt.Sprintf("%s-%s", e.Benchmark, v)
+}
+
+// Manifest is a declarative campaign.
+type Manifest struct {
+	Name string `json:"name"`
+	// Seed roots every population campaign (per-entry offsets applied).
+	Seed uint64 `json:"seed"`
+	// Scale is the workload scale (0 means 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Runs is the default population size (0 means 100).
+	Runs     int        `json:"runs,omitempty"`
+	Entries  []Entry    `json:"entries"`
+	Analyses []Analysis `json:"analyses"`
+}
+
+// Load parses a manifest and validates it.
+func Load(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("manifest: decoding: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Save writes the manifest as indented JSON.
+func (m *Manifest) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Validate checks the manifest for structural problems before any
+// simulation starts, so a typo fails fast rather than hours in.
+func (m *Manifest) Validate() error {
+	if m.Name == "" {
+		return errors.New("manifest: empty name")
+	}
+	if len(m.Entries) == 0 {
+		return errors.New("manifest: no entries")
+	}
+	if len(m.Analyses) == 0 {
+		return errors.New("manifest: no analyses")
+	}
+	if m.Scale < 0 {
+		return errors.New("manifest: negative scale")
+	}
+	if m.Runs < 0 {
+		return errors.New("manifest: negative runs")
+	}
+	seen := map[string]bool{}
+	for i, e := range m.Entries {
+		if _, err := workload.ByName(e.Benchmark); err != nil {
+			return fmt.Errorf("manifest: entry %d: %w", i, err)
+		}
+		if _, err := e.Config(); err != nil {
+			return fmt.Errorf("manifest: entry %d: %w", i, err)
+		}
+		if e.Runs < 0 {
+			return fmt.Errorf("manifest: entry %d: negative runs", i)
+		}
+		if seen[e.key()] {
+			return fmt.Errorf("manifest: duplicate entry %s", e.key())
+		}
+		seen[e.key()] = true
+	}
+	for i, a := range m.Analyses {
+		p, err := a.Params()
+		if err != nil {
+			return fmt.Errorf("manifest: analysis %d: %w", i, err)
+		}
+		if _, err := core.CIMinSamples(p); err != nil {
+			return fmt.Errorf("manifest: analysis %d: %w", i, err)
+		}
+		if a.Metric == "" {
+			return fmt.Errorf("manifest: analysis %d: empty metric", i)
+		}
+	}
+	return nil
+}
+
+// Template returns a ready-to-edit example manifest.
+func Template() *Manifest {
+	return &Manifest{
+		Name:  "example",
+		Seed:  1,
+		Scale: 0.5,
+		Runs:  100,
+		Entries: []Entry{
+			{Benchmark: "ferret"},
+			{Benchmark: "ferret", Variant: "l2double"},
+			{Benchmark: "canneal"},
+		},
+		Analyses: []Analysis{
+			{Metric: sim.MetricRuntime, F: 0.5, C: 0.9},
+			{Metric: sim.MetricRuntime, F: 0.9, C: 0.9},
+			{Metric: sim.MetricL1DMPKI, F: 0.9, C: 0.95},
+		},
+	}
+}

@@ -1,0 +1,101 @@
+package manifest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTemplateIsValid(t *testing.T) {
+	if err := Template().Validate(); err != nil {
+		t.Fatalf("template invalid: %v", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Template().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "example" || len(m.Entries) != 3 || len(m.Analyses) != 3 {
+		t.Errorf("round trip lost content: %+v", m)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	js := `{"name":"x","entries":[{"benchmark":"ferret"}],"analyses":[{"metric":"runtime_s","f":0.5,"c":0.9}],"bogus":1}`
+	if _, err := Load(strings.NewReader(js)); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+	if _, err := Load(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	base := func() *Manifest { return Template() }
+	cases := []struct {
+		name string
+		mut  func(*Manifest)
+	}{
+		{"empty name", func(m *Manifest) { m.Name = "" }},
+		{"no entries", func(m *Manifest) { m.Entries = nil }},
+		{"no analyses", func(m *Manifest) { m.Analyses = nil }},
+		{"negative scale", func(m *Manifest) { m.Scale = -1 }},
+		{"negative runs", func(m *Manifest) { m.Runs = -1 }},
+		{"unknown benchmark", func(m *Manifest) { m.Entries[0].Benchmark = "nope" }},
+		{"unknown variant", func(m *Manifest) { m.Entries[0].Variant = "warp" }},
+		{"negative entry runs", func(m *Manifest) { m.Entries[0].Runs = -2 }},
+		{"duplicate entry", func(m *Manifest) { m.Entries = append(m.Entries, m.Entries[0]) }},
+		{"bad direction", func(m *Manifest) { m.Analyses[0].Direction = "sideways" }},
+		{"bad F", func(m *Manifest) { m.Analyses[0].F = 2 }},
+		{"empty metric", func(m *Manifest) { m.Analyses[0].Metric = "" }},
+	}
+	for _, c := range cases {
+		m := base()
+		c.mut(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: should be invalid", c.name)
+		}
+	}
+}
+
+func TestEntryConfigVariants(t *testing.T) {
+	for variant, l2 := range map[string]int{
+		"":         3 * 1024 * 1024,
+		"default":  3 * 1024 * 1024,
+		"l2half":   512 * 1024,
+		"l2double": 1024 * 1024,
+	} {
+		cfg, err := Entry{Benchmark: "ferret", Variant: variant}.Config()
+		if err != nil {
+			t.Fatalf("variant %q: %v", variant, err)
+		}
+		if cfg.L2Size != l2 {
+			t.Errorf("variant %q: L2 %d, want %d", variant, cfg.L2Size, l2)
+		}
+	}
+	hw, err := Entry{Benchmark: "ferret", Variant: "hardware"}.Config()
+	if err != nil || hw.ColocationProb == 0 {
+		t.Error("hardware variant should enable colocation")
+	}
+}
+
+func TestAnalysisParams(t *testing.T) {
+	p, err := Analysis{Metric: sim.MetricIPC, F: 0.9, C: 0.9, Direction: "atleast"}.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Direction.String() != "at-least" {
+		t.Errorf("direction = %v", p.Direction)
+	}
+	if _, err := (Analysis{F: 0.5, C: 0.9, Direction: "no"}).Params(); err == nil {
+		t.Error("bad direction should error")
+	}
+}

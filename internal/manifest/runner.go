@@ -1,0 +1,197 @@
+package manifest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/stats"
+)
+
+// AnalysisResult is one (entry, analysis) outcome.
+type AnalysisResult struct {
+	Entry     string         `json:"entry"`
+	Metric    string         `json:"metric"`
+	F         float64        `json:"f"`
+	C         float64        `json:"c"`
+	Direction string         `json:"direction"`
+	Samples   int            `json:"samples"`
+	Interval  stats.Interval `json:"interval"`
+	// Err carries a per-analysis failure (e.g. metric missing) without
+	// aborting the rest of the campaign.
+	Err string `json:"error,omitempty"`
+}
+
+// Report is the campaign outcome.
+type Report struct {
+	Name    string           `json:"name"`
+	Results []AnalysisResult `json:"results"`
+	// Reused lists entries whose populations were loaded from disk rather
+	// than re-simulated (the resume path).
+	Reused []string `json:"reused,omitempty"`
+}
+
+// Runner executes manifests.
+type Runner struct {
+	// OutDir receives per-entry population JSONs and the report; it is
+	// created if missing.
+	OutDir string
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// popPath is the population file for an entry.
+func (r *Runner) popPath(m *Manifest, e Entry) string {
+	return filepath.Join(r.OutDir, fmt.Sprintf("%s-%s.json", m.Name, e.key()))
+}
+
+// ReportPath is the report file the campaign writes.
+func (r *Runner) ReportPath(m *Manifest) string {
+	return filepath.Join(r.OutDir, fmt.Sprintf("%s-report.json", m.Name))
+}
+
+// Run executes the campaign: simulate (or load) every entry's population,
+// run every analysis on it, and persist the report. Individual analysis
+// failures are recorded in the report rather than aborting.
+func (r *Runner) Run(m *Manifest) (*Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if r.OutDir == "" {
+		return nil, errors.New("manifest: runner needs an output directory")
+	}
+	if err := os.MkdirAll(r.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+	scale := m.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	report := &Report{Name: m.Name}
+
+	for i, e := range m.Entries {
+		pop, reused, err := r.loadOrGenerate(m, e, i, scale)
+		if err != nil {
+			return nil, fmt.Errorf("manifest: entry %s: %w", e.key(), err)
+		}
+		if reused {
+			report.Reused = append(report.Reused, e.key())
+		}
+		for _, a := range m.Analyses {
+			res := AnalysisResult{
+				Entry: e.key(), Metric: a.Metric, F: a.F, C: a.C,
+				Direction: a.Direction,
+			}
+			if res.Direction == "" {
+				res.Direction = "atmost"
+			}
+			p, err := a.Params()
+			if err != nil {
+				res.Err = err.Error()
+				report.Results = append(report.Results, res)
+				continue
+			}
+			xs, err := pop.Metric(a.Metric)
+			if err != nil {
+				res.Err = err.Error()
+				report.Results = append(report.Results, res)
+				continue
+			}
+			res.Samples = len(xs)
+			iv, err := core.ConfidenceInterval(xs, p)
+			if err != nil {
+				res.Err = err.Error()
+			} else {
+				res.Interval = iv
+			}
+			report.Results = append(report.Results, res)
+		}
+	}
+
+	f, err := os.Create(r.ReportPath(m))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		return nil, err
+	}
+	r.logf("report written to %s", r.ReportPath(m))
+	return report, nil
+}
+
+// loadOrGenerate resumes an entry's population from disk or simulates it.
+func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*population.Population, bool, error) {
+	path := r.popPath(m, e)
+	if f, err := os.Open(path); err == nil {
+		defer f.Close()
+		pop, err := population.Load(f)
+		if err != nil {
+			return nil, false, fmt.Errorf("resuming from %s: %w", path, err)
+		}
+		r.logf("reusing %s (%d runs)", path, pop.Runs)
+		return pop, true, nil
+	}
+	cfg, err := e.Config()
+	if err != nil {
+		return nil, false, err
+	}
+	runs := e.Runs
+	if runs <= 0 {
+		runs = m.Runs
+	}
+	if runs <= 0 {
+		runs = 100
+	}
+	r.logf("simulating %s: %d runs at scale %g", e.key(), runs, scale)
+	pop, err := population.Generate(e.Benchmark, cfg, scale, runs,
+		m.Seed+uint64(idx)*1_000_000, r.Parallelism)
+	if err != nil {
+		return nil, false, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	if err := pop.Save(f); err != nil {
+		return nil, false, err
+	}
+	return pop, false, nil
+}
+
+// Render writes the report as an aligned text table.
+func (rep *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "campaign %s: %d results", rep.Name, len(rep.Results))
+	if len(rep.Reused) > 0 {
+		fmt.Fprintf(w, " (%d populations reused)", len(rep.Reused))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-24s %-18s %-5s %-5s %-8s %-14s %s\n",
+		"entry", "metric", "F", "C", "dir", "lo", "hi")
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			fmt.Fprintf(w, "%-24s %-18s %-5g %-5g %-8s error: %s\n",
+				res.Entry, res.Metric, res.F, res.C, res.Direction, res.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %-18s %-5g %-5g %-8s %-14.6g %.6g\n",
+			res.Entry, res.Metric, res.F, res.C, res.Direction,
+			res.Interval.Lo, res.Interval.Hi)
+	}
+}

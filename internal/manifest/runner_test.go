@@ -1,0 +1,143 @@
+package manifest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tinyManifest is fast enough for unit tests.
+func tinyManifest() *Manifest {
+	return &Manifest{
+		Name:  "tiny",
+		Seed:  7,
+		Scale: 0.05,
+		Runs:  32,
+		Entries: []Entry{
+			{Benchmark: "swaptions"},
+			{Benchmark: "swaptions", Variant: "l2half", Runs: 30},
+		},
+		Analyses: []Analysis{
+			{Metric: sim.MetricRuntime, F: 0.5, C: 0.9},
+			{Metric: sim.MetricIPC, F: 0.9, C: 0.9, Direction: "atleast"},
+			{Metric: "no_such_metric", F: 0.5, C: 0.9},
+		},
+	}
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var log bytes.Buffer
+	r := &Runner{OutDir: dir, Log: &log}
+	rep, err := r.Run(tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 6 { // 2 entries × 3 analyses
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	okCount, errCount := 0, 0
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			errCount++
+			continue
+		}
+		okCount++
+		if !res.Interval.IsValid() {
+			t.Errorf("invalid interval in %+v", res)
+		}
+		if res.Samples == 0 {
+			t.Error("missing sample count")
+		}
+	}
+	if okCount != 4 || errCount != 2 {
+		t.Errorf("ok=%d err=%d, want 4/2 (the bogus metric fails per entry)", okCount, errCount)
+	}
+	// Population files and the report exist.
+	for _, name := range []string{"tiny-swaptions-default.json", "tiny-swaptions-l2half.json", "tiny-report.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing output %s: %v", name, err)
+		}
+	}
+	// The report file parses back.
+	f, err := os.Open(filepath.Join(dir, "tiny-report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var back Report
+	if err := json.NewDecoder(f).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "tiny" || len(back.Results) != 6 {
+		t.Errorf("report round trip wrong: %+v", back)
+	}
+}
+
+func TestRunnerResume(t *testing.T) {
+	dir := t.TempDir()
+	r := &Runner{OutDir: dir}
+	m := tinyManifest()
+	if _, err := r.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	// Second run must reuse both populations.
+	rep, err := r.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Reused) != 2 {
+		t.Errorf("resume reused %d populations, want 2", len(rep.Reused))
+	}
+}
+
+func TestRunnerResumeCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	m := tinyManifest()
+	m.Entries = m.Entries[:1]
+	bad := filepath.Join(dir, "tiny-swaptions-default.json")
+	if err := os.WriteFile(bad, []byte("{corrupt"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{OutDir: dir}
+	if _, err := r.Run(m); err == nil {
+		t.Error("corrupt population file should fail loudly, not silently regenerate")
+	}
+}
+
+func TestRunnerValidationAndSetupErrors(t *testing.T) {
+	r := &Runner{OutDir: t.TempDir()}
+	bad := tinyManifest()
+	bad.Name = ""
+	if _, err := r.Run(bad); err == nil {
+		t.Error("invalid manifest should error")
+	}
+	r2 := &Runner{}
+	if _, err := r2.Run(tinyManifest()); err == nil {
+		t.Error("missing out dir should error")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{
+		Name: "demo",
+		Results: []AnalysisResult{
+			{Entry: "a-default", Metric: "m", F: 0.5, C: 0.9, Direction: "atmost", Samples: 10},
+			{Entry: "a-default", Metric: "x", F: 0.5, C: 0.9, Direction: "atmost", Err: "boom"},
+		},
+		Reused: []string{"a-default"},
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, frag := range []string{"campaign demo", "1 populations reused", "error: boom"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{1, 1, 0},                     // B(1,1) = 1
+		{2, 2, math.Log(1.0 / 6.0)},   // B(2,2) = 1/6
+		{0.5, 0.5, math.Log(math.Pi)}, // B(1/2,1/2) = π
+		{3, 4, math.Log(1.0 / 60.0)},  // B(3,4) = 1/60
+		{10, 10, math.Log(362880.0 * 362880.0 / 121645100408832000.0)}, // Γ(10)²/Γ(20)
+	}
+	for _, c := range cases {
+		got := LogBeta(c.a, c.b)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("LogBeta(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLogBetaDomain(t *testing.T) {
+	for _, pair := range [][2]float64{{0, 1}, {-1, 2}, {1, 0}, {3, -0.5}} {
+		if !math.IsNaN(LogBeta(pair[0], pair[1])) {
+			t.Errorf("LogBeta(%g,%g) should be NaN", pair[0], pair[1])
+		}
+	}
+}
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got := RegIncBeta(0, 2, 3); got != 0 {
+		t.Errorf("I_0(2,3) = %g, want 0", got)
+	}
+	if got := RegIncBeta(1, 2, 3); got != 1 {
+		t.Errorf("I_1(2,3) = %g, want 1", got)
+	}
+	if got := RegIncBeta(-0.5, 2, 3); got != 0 {
+		t.Errorf("I_{-0.5}(2,3) = %g, want 0 (clamped)", got)
+	}
+	if got := RegIncBeta(1.5, 2, 3); got != 1 {
+		t.Errorf("I_{1.5}(2,3) = %g, want 1 (clamped)", got)
+	}
+	if !math.IsNaN(RegIncBeta(0.5, 0, 1)) {
+		t.Error("I_x(0,1) should be NaN")
+	}
+}
+
+// For integer a=1, I_x(1,b) = 1-(1-x)^b has a closed form.
+func TestRegIncBetaClosedFormA1(t *testing.T) {
+	for _, b := range []float64{1, 2, 5, 17.5} {
+		for _, x := range []float64{0.01, 0.2, 0.5, 0.8, 0.99} {
+			want := 1 - math.Pow(1-x, b)
+			got := RegIncBeta(x, 1, b)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("I_%g(1,%g) = %.15g, want %.15g", x, b, got, want)
+			}
+		}
+	}
+}
+
+// I_x(a,1) = x^a.
+func TestRegIncBetaClosedFormB1(t *testing.T) {
+	for _, a := range []float64{1, 3, 8, 22} {
+		for _, x := range []float64{0.05, 0.33, 0.9, 0.999} {
+			want := math.Pow(x, a)
+			got := RegIncBeta(x, a, 1)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("I_%g(%g,1) = %.15g, want %.15g", x, a, got, want)
+			}
+		}
+	}
+}
+
+// Reference values computed with scipy.special.betainc.
+func TestRegIncBetaReferenceValues(t *testing.T) {
+	cases := []struct {
+		x, a, b, want float64
+	}{
+		{0.5, 2, 3, 0.6875},
+		{0.3, 5, 5, 0.09880866},
+		{0.9, 10, 2, 0.69735688},
+		{0.1, 0.5, 0.5, 0.20483276},
+		{0.75, 22, 1, 0.001783807}, // 0.75^22
+		{0.5, 100, 100, 0.5},
+		{0.6, 2, 2, 0.648},     // 3x²−2x³
+		{0.25, 4, 2, 0.015625}, // P(X≥4), X~Binom(5,1/4)
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.x, c.a, c.b)
+		if math.Abs(got-c.want) > 1e-7 {
+			t.Errorf("I_%g(%g,%g) = %.8f, want %.8f", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+func TestRegIncBetaSymmetryProperty(t *testing.T) {
+	f := func(xr, ar, br uint16) bool {
+		x := float64(xr%1000)/1000.0 + 0.0005
+		a := float64(ar%500)/10.0 + 0.1
+		b := float64(br%500)/10.0 + 0.1
+		lhs := RegIncBeta(x, a, b)
+		rhs := 1 - RegIncBeta(1-x, b, a)
+		return math.Abs(lhs-rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity in x.
+func TestRegIncBetaMonotoneProperty(t *testing.T) {
+	f := func(x1r, x2r, ar, br uint16) bool {
+		x1 := float64(x1r%1000) / 1000.0
+		x2 := float64(x2r%1000) / 1000.0
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		a := float64(ar%300)/10.0 + 0.2
+		b := float64(br%300)/10.0 + 0.2
+		return RegIncBeta(x1, a, b) <= RegIncBeta(x2, a, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Values stay inside [0,1].
+func TestRegIncBetaRangeProperty(t *testing.T) {
+	f := func(xr, ar, br uint32) bool {
+		x := float64(xr%10000) / 10000.0
+		a := float64(ar%2000)/10.0 + 0.05
+		b := float64(br%2000)/10.0 + 0.05
+		v := RegIncBeta(x, a, b)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetaQuantileRoundTrip(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2, 10, 22} {
+		for _, b := range []float64{0.5, 1, 3, 15} {
+			for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+				x, err := BetaQuantile(p, a, b)
+				if err != nil {
+					t.Fatalf("BetaQuantile(%g,%g,%g): %v", p, a, b, err)
+				}
+				back := BetaCDF(x, a, b)
+				if math.Abs(back-p) > 1e-9 {
+					t.Errorf("CDF(Quantile(%g); %g,%g) = %g", p, a, b, back)
+				}
+			}
+		}
+	}
+}
+
+func TestBetaQuantileEdges(t *testing.T) {
+	if x, err := BetaQuantile(0, 2, 3); err != nil || x != 0 {
+		t.Errorf("BetaQuantile(0) = %g, %v", x, err)
+	}
+	if x, err := BetaQuantile(1, 2, 3); err != nil || x != 1 {
+		t.Errorf("BetaQuantile(1) = %g, %v", x, err)
+	}
+	if _, err := BetaQuantile(0.5, -1, 3); err == nil {
+		t.Error("BetaQuantile with a<0 should error")
+	}
+	if _, err := BetaQuantile(1.5, 1, 1); err == nil {
+		t.Error("BetaQuantile with p>1 should error")
+	}
+}
+
+func TestBetaPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integration of the PDF should reproduce the CDF.
+	const steps = 20000
+	a, b := 2.5, 4.0
+	sum := 0.0
+	prev := BetaPDF(0, a, b)
+	for i := 1; i <= steps; i++ {
+		x := float64(i) / steps
+		cur := BetaPDF(x, a, b)
+		sum += (prev + cur) / 2 / steps
+		prev = cur
+		if i == steps/2 {
+			want := BetaCDF(0.5, a, b)
+			if math.Abs(sum-want) > 1e-5 {
+				t.Errorf("∫pdf to 0.5 = %g, CDF = %g", sum, want)
+			}
+		}
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Errorf("∫pdf over [0,1] = %g, want 1", sum)
+	}
+}
+
+func TestBetaPDFEdges(t *testing.T) {
+	if v := BetaPDF(0, 0.5, 1); !math.IsInf(v, 1) {
+		t.Errorf("BetaPDF(0; .5,1) = %g, want +Inf", v)
+	}
+	if v := BetaPDF(0, 1, 3); v != 3 {
+		t.Errorf("BetaPDF(0; 1,3) = %g, want 3", v)
+	}
+	if v := BetaPDF(1, 3, 1); v != 3 {
+		t.Errorf("BetaPDF(1; 3,1) = %g, want 3", v)
+	}
+	if v := BetaPDF(0, 2, 3); v != 0 {
+		t.Errorf("BetaPDF(0; 2,3) = %g, want 0", v)
+	}
+	if v := BetaPDF(1, 0.7, 0.5); !math.IsInf(v, 1) {
+		t.Errorf("BetaPDF(1; .7,.5) = %g, want +Inf", v)
+	}
+	if !math.IsNaN(BetaPDF(0.5, -1, 1)) {
+		t.Error("BetaPDF with a<0 should be NaN")
+	}
+}

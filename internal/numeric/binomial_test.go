@@ -1,0 +1,110 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10},
+		{10, 5, 252},
+		{22, 0, 1},
+		{22, 22, 1},
+		{52, 5, 2598960},
+	}
+	for _, c := range cases {
+		got := math.Exp(LogChoose(c.n, c.k))
+		if math.Abs(got-c.want)/c.want > 1e-10 {
+			t.Errorf("C(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsNaN(LogChoose(3, 5)) || !math.IsNaN(LogChoose(-1, 0)) {
+		t.Error("LogChoose out of domain should be NaN")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 7, 22, 100} {
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += BinomialPMF(k, n, p)
+			}
+			if math.Abs(sum-1) > 1e-10 {
+				t.Errorf("sum PMF(n=%d,p=%g) = %g", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFDegenerate(t *testing.T) {
+	if BinomialPMF(0, 5, 0) != 1 || BinomialPMF(1, 5, 0) != 0 {
+		t.Error("p=0 PMF wrong")
+	}
+	if BinomialPMF(5, 5, 1) != 1 || BinomialPMF(4, 5, 1) != 0 {
+		t.Error("p=1 PMF wrong")
+	}
+	if BinomialPMF(-1, 5, 0.5) != 0 || BinomialPMF(6, 5, 0.5) != 0 {
+		t.Error("out-of-range k PMF should be 0")
+	}
+}
+
+func TestBinomialCDFMatchesPMFSum(t *testing.T) {
+	for _, n := range []int{3, 22, 60} {
+		for _, p := range []float64{0.05, 0.5, 0.9} {
+			run := 0.0
+			for k := 0; k < n; k++ {
+				run += BinomialPMF(k, n, p)
+				got := BinomialCDF(k, n, p)
+				if math.Abs(got-run) > 1e-10 {
+					t.Errorf("CDF(%d;%d,%g) = %.12f, PMF sum %.12f", k, n, p, got, run)
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialCDFEdges(t *testing.T) {
+	if BinomialCDF(-1, 10, 0.5) != 0 {
+		t.Error("CDF below support should be 0")
+	}
+	if BinomialCDF(10, 10, 0.5) != 1 || BinomialCDF(42, 10, 0.5) != 1 {
+		t.Error("CDF at/above support should be 1")
+	}
+	if !math.IsNaN(BinomialCDF(2, -1, 0.5)) {
+		t.Error("negative n should be NaN")
+	}
+}
+
+func TestBinomialQuantileInvertsCDF(t *testing.T) {
+	f := func(nr, pr, qr uint16) bool {
+		n := int(nr%200) + 1
+		p := (float64(pr%999) + 0.5) / 1000.0
+		q := (float64(qr%999) + 0.5) / 1000.0
+		k := BinomialQuantile(q, n, p)
+		if BinomialCDF(k, n, p) < q {
+			return false
+		}
+		if k > 0 && BinomialCDF(k-1, n, p) >= q {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialQuantileEdges(t *testing.T) {
+	if BinomialQuantile(0, 10, 0.5) != 0 {
+		t.Error("q=0 quantile should be 0")
+	}
+	if BinomialQuantile(1, 10, 0.5) != 10 {
+		t.Error("q=1 quantile should be n")
+	}
+}

@@ -1,0 +1,287 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy (Table 2 of the paper): per-core L1 instruction and data
+// caches and a shared inclusive L2, all with 64-byte blocks. Replacement is
+// true-LRU by default, with FIFO and (deterministic) random policies
+// available for the replacement ablation.
+package cache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Policy selects a replacement policy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used way (the default).
+	LRU Policy = iota
+	// FIFO evicts the oldest-filled way regardless of use.
+	FIFO
+	// Random evicts a pseudo-random way, deterministically derived from
+	// the access sequence so simulations stay replicable.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	default:
+		return "lru"
+	}
+}
+
+// Line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set logical clock: larger means more recently used.
+	lru uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// Cache is a set-associative, write-back cache.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	blockBits uint
+	policy    Policy
+	lines     []line // sets × ways, row-major
+	clock     uint64
+	rngState  uint64 // xorshift state for the Random policy
+	stats     Stats
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	BlockSize int
+	// Policy selects the replacement policy (default LRU).
+	Policy Policy
+}
+
+// New builds a cache. Size, associativity, and block size must be positive
+// powers of two with Size = sets × ways × block.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockSize <= 0 {
+		return nil, errors.New("cache: non-positive geometry")
+	}
+	if cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		return nil, fmt.Errorf("cache: block size %d not a power of two", cfg.BlockSize)
+	}
+	blockBits := uint(0)
+	for 1<<blockBits < cfg.BlockSize {
+		blockBits++
+	}
+	rows := cfg.SizeBytes / cfg.BlockSize
+	if rows%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache: %d blocks not divisible by %d ways", rows, cfg.Ways)
+	}
+	sets := rows / cfg.Ways
+	if sets == 0 {
+		return nil, fmt.Errorf("cache: zero sets (size %d too small for %d ways)", cfg.SizeBytes, cfg.Ways)
+	}
+	// Sets need not be a power of two (Table 2's 3MB/16-way L2 has 3072);
+	// indexing uses modulo, as Ruby does for such geometries.
+	if cfg.Policy < LRU || cfg.Policy > Random {
+		return nil, fmt.Errorf("cache: unknown replacement policy %d", cfg.Policy)
+	}
+	return &Cache{
+		name:      cfg.Name,
+		sets:      sets,
+		ways:      cfg.Ways,
+		blockBits: blockBits,
+		policy:    cfg.Policy,
+		lines:     make([]line, sets*cfg.Ways),
+		rngState:  0x9E3779B97F4A7C15,
+	}, nil
+}
+
+// BlockAddr returns the block-aligned address (tag+set) for addr.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockBits << c.blockBits }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.blockBits
+	return int(blk % uint64(c.sets)), blk / uint64(c.sets)
+}
+
+// AccessResult describes the outcome of a cache access.
+type AccessResult struct {
+	Hit bool
+	// Evicted is set when a valid line was displaced to make room.
+	Evicted bool
+	// EvictedAddr is the block address of the displaced line.
+	EvictedAddr uint64
+	// Writeback is set when the displaced line was dirty.
+	Writeback bool
+}
+
+// Access looks up addr, allocating on miss (displacing the LRU way), and
+// marks the line dirty on writes. It returns what happened so the caller
+// can model latency, inclusion, and coherence.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.clock++
+
+	// Hit path.
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			if c.policy == LRU {
+				ln.lru = c.clock
+			}
+			if write {
+				ln.dirty = true
+			}
+			c.stats.Hits++
+			return AccessResult{Hit: true}
+		}
+	}
+
+	// Miss: pick victim (invalid way first, else per policy — for LRU and
+	// FIFO the smallest stamp; FIFO never refreshes stamps on hits).
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if c.policy == Random {
+			continue
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victim = w
+		}
+	}
+	if victim == -1 && c.policy == Random {
+		// xorshift64*: deterministic, independent of map ordering.
+		c.rngState ^= c.rngState << 13
+		c.rngState ^= c.rngState >> 7
+		c.rngState ^= c.rngState << 17
+		victim = int(c.rngState % uint64(c.ways))
+	}
+	ln := &c.lines[base+victim]
+	res := AccessResult{}
+	if ln.valid {
+		res.Evicted = true
+		res.EvictedAddr = c.reconstruct(set, ln.tag)
+		if ln.dirty {
+			res.Writeback = true
+			c.stats.Writebacks++
+		}
+		c.stats.Evictions++
+	}
+	ln.valid = true
+	ln.tag = tag
+	ln.dirty = write
+	ln.lru = c.clock
+	c.stats.Misses++
+	return res
+}
+
+// reconstruct rebuilds a block address from set and tag.
+func (c *Cache) reconstruct(set int, tag uint64) uint64 {
+	return (tag*uint64(c.sets) + uint64(set)) << c.blockBits
+}
+
+// Contains reports whether addr's block is resident, without touching LRU
+// state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr's block if resident, returning whether it was dirty
+// (the caller models the writeback). Used for coherence invalidations and
+// L2-inclusion back-invalidations.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			ln.valid = false
+			return true, ln.dirty
+		}
+	}
+	return false, false
+}
+
+// FlushRatio invalidates roughly the given fraction of resident lines
+// (deterministically: every k-th valid line), modeling the cold-cache effect
+// of a context switch or migration. It returns the number of lines dropped.
+func (c *Cache) FlushRatio(ratio float64) int {
+	if ratio <= 0 {
+		return 0
+	}
+	if ratio >= 1 {
+		ratio = 1
+	}
+	stride := int(1 / ratio)
+	if stride < 1 {
+		stride = 1
+	}
+	dropped, seen := 0, 0
+	for i := range c.lines {
+		if !c.lines[i].valid {
+			continue
+		}
+		if seen%stride == 0 {
+			c.lines[i].valid = false
+			dropped++
+		}
+		seen++
+	}
+	return dropped
+}
+
+// Blocks returns the block addresses of all resident lines, in no
+// particular order. It exists for invariant checks (e.g. verifying L2
+// inclusion) and does not touch LRU state or statistics.
+func (c *Cache) Blocks() []uint64 {
+	var out []uint64
+	for i := range c.lines {
+		if c.lines[i].valid {
+			out = append(out, c.reconstruct(i/c.ways, c.lines[i].tag))
+		}
+	}
+	return out
+}
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets and Ways expose geometry for tests.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }

@@ -1,0 +1,320 @@
+// Package coherence implements the MESI directory protocol of the simulated
+// system (Table 2: "MESI directory"). The directory lives beside the shared
+// L2 and tracks, per block, which cores hold the line and in which state.
+// The model is timing-oriented: it reports which protocol actions an access
+// triggers (invalidations, owner writebacks, upgrades) so the machine model
+// can charge crossbar and memory latency; data movement itself is not
+// simulated.
+package coherence
+
+import "fmt"
+
+// State is a block's directory-visible state.
+type State int
+
+// MESI states as seen by the directory. Exclusive and Modified both imply a
+// single owner; the directory conservatively tracks Exclusive separately so
+// silent E→M upgrades cost nothing, as in real MESI.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
+type entry struct {
+	state   State
+	sharers uint64 // bitmask of cores holding the line
+	owner   int    // valid when state is Exclusive or Modified
+}
+
+// Protocol selects the coherence protocol variant.
+type Protocol int
+
+const (
+	// MESI grants Exclusive on a sole read, making the subsequent write a
+	// silent E→M upgrade (Table 2's protocol).
+	MESI Protocol = iota
+	// MSI has no Exclusive state: a sole reader holds Shared, so every
+	// first write pays an upgrade transaction. Kept for the protocol
+	// ablation.
+	MSI
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	if p == MSI {
+		return "MSI"
+	}
+	return "MESI"
+}
+
+// Directory tracks coherence state for every block resident anywhere on
+// chip.
+type Directory struct {
+	cores    int
+	protocol Protocol
+	entries  map[uint64]*entry
+	stats    Stats
+}
+
+// Stats counts protocol actions.
+type Stats struct {
+	ReadMisses    uint64
+	WriteMisses   uint64
+	Invalidations uint64 // sharer copies invalidated by upgrades/writes
+	OwnerForwards uint64 // dirty data forwarded/written back from an owner
+	Upgrades      uint64 // S→M upgrades that only needed invalidations
+}
+
+// New builds a MESI directory for the given core count (≤ 64).
+func New(cores int) (*Directory, error) {
+	return NewWithProtocol(cores, MESI)
+}
+
+// NewWithProtocol builds a directory running the given protocol variant.
+func NewWithProtocol(cores int, p Protocol) (*Directory, error) {
+	if cores <= 0 || cores > 64 {
+		return nil, fmt.Errorf("coherence: core count %d outside 1..64", cores)
+	}
+	if p != MESI && p != MSI {
+		return nil, fmt.Errorf("coherence: unknown protocol %d", p)
+	}
+	return &Directory{cores: cores, protocol: p, entries: make(map[uint64]*entry)}, nil
+}
+
+// Action describes the coherence work an access caused; the machine model
+// converts these to latency.
+type Action struct {
+	// Invalidated is the number of remote copies invalidated.
+	Invalidated int
+	// InvalidatedCores lists the cores whose copies were invalidated so
+	// their private caches can be kept in sync.
+	InvalidatedCores []int
+	// OwnerWriteback is set when a Modified remote copy had to be written
+	// back / forwarded.
+	OwnerWriteback bool
+	// OwnerCore is the core that held the Modified copy.
+	OwnerCore int
+	// WasMiss is set when the block was not in the requesting core's state
+	// at all (directory read/write miss, as opposed to an upgrade).
+	WasMiss bool
+	// Upgrade is set when a Shared holder's write required a directory
+	// upgrade transaction (always in MSI; in MESI only when the line was
+	// genuinely Shared rather than Exclusive).
+	Upgrade bool
+}
+
+func (d *Directory) get(block uint64) *entry {
+	e, ok := d.entries[block]
+	if !ok {
+		e = &entry{state: Invalid, owner: -1}
+		d.entries[block] = e
+	}
+	return e
+}
+
+func (d *Directory) checkCore(core int) {
+	if core < 0 || core >= d.cores {
+		panic(fmt.Sprintf("coherence: core %d out of range", core))
+	}
+}
+
+// Read records core's read of block and returns the triggered actions.
+func (d *Directory) Read(core int, block uint64) Action {
+	d.checkCore(core)
+	e := d.get(block)
+	bit := uint64(1) << uint(core)
+	var act Action
+	switch e.state {
+	case Invalid:
+		if d.protocol == MSI {
+			e.state = Shared
+			e.owner = -1
+		} else {
+			e.state = Exclusive
+			e.owner = core
+		}
+		e.sharers = bit
+		act.WasMiss = true
+		d.stats.ReadMisses++
+	case Shared:
+		if e.sharers&bit == 0 {
+			e.sharers |= bit
+			act.WasMiss = true
+			d.stats.ReadMisses++
+		}
+	case Exclusive, Modified:
+		if e.owner == core {
+			break // silent hit
+		}
+		if e.state == Modified {
+			act.OwnerWriteback = true
+			act.OwnerCore = e.owner
+			d.stats.OwnerForwards++
+		}
+		// Owner downgrades to Shared; reader joins.
+		e.state = Shared
+		e.sharers |= bit
+		e.owner = -1
+		act.WasMiss = true
+		d.stats.ReadMisses++
+	}
+	return act
+}
+
+// Write records core's write of block and returns the triggered actions.
+func (d *Directory) Write(core int, block uint64) Action {
+	d.checkCore(core)
+	e := d.get(block)
+	bit := uint64(1) << uint(core)
+	var act Action
+	switch e.state {
+	case Invalid:
+		act.WasMiss = true
+		d.stats.WriteMisses++
+	case Shared:
+		// Invalidate all other sharers; upgrade if we were one of them.
+		for c := 0; c < d.cores; c++ {
+			cb := uint64(1) << uint(c)
+			if c != core && e.sharers&cb != 0 {
+				act.Invalidated++
+				act.InvalidatedCores = append(act.InvalidatedCores, c)
+				d.stats.Invalidations++
+			}
+		}
+		if e.sharers&bit != 0 {
+			act.Upgrade = true
+			d.stats.Upgrades++
+		} else {
+			act.WasMiss = true
+			d.stats.WriteMisses++
+		}
+	case Exclusive, Modified:
+		if e.owner == core {
+			break // silent E→M or M hit
+		}
+		if e.state == Modified {
+			act.OwnerWriteback = true
+			act.OwnerCore = e.owner
+			d.stats.OwnerForwards++
+		}
+		act.Invalidated++
+		act.InvalidatedCores = append(act.InvalidatedCores, e.owner)
+		d.stats.Invalidations++
+		act.WasMiss = true
+		d.stats.WriteMisses++
+	}
+	e.state = Modified
+	e.owner = core
+	e.sharers = bit
+	return act
+}
+
+// Evict removes core's copy of block from the directory (L1 eviction or
+// back-invalidation). It returns whether the evicted copy was Modified.
+func (d *Directory) Evict(core int, block uint64) (wasModified bool) {
+	d.checkCore(core)
+	e, ok := d.entries[block]
+	if !ok {
+		return false
+	}
+	bit := uint64(1) << uint(core)
+	switch e.state {
+	case Shared:
+		e.sharers &^= bit
+		if e.sharers == 0 {
+			delete(d.entries, block)
+		}
+	case Exclusive, Modified:
+		if e.owner == core {
+			wasModified = e.state == Modified
+			delete(d.entries, block)
+		}
+	}
+	return wasModified
+}
+
+// DropBlock removes every core's copy (L2 eviction with inclusion). It
+// returns the cores that held the line so the machine can back-invalidate
+// their L1s, and whether a modified copy existed.
+func (d *Directory) DropBlock(block uint64) (holders []int, hadModified bool) {
+	e, ok := d.entries[block]
+	if !ok {
+		return nil, false
+	}
+	for c := 0; c < d.cores; c++ {
+		if e.sharers&(uint64(1)<<uint(c)) != 0 {
+			holders = append(holders, c)
+		}
+	}
+	hadModified = e.state == Modified
+	delete(d.entries, block)
+	return holders, hadModified
+}
+
+// StateOf returns the directory state of a block and its holders, for tests
+// and invariant checks.
+func (d *Directory) StateOf(block uint64) (State, []int) {
+	e, ok := d.entries[block]
+	if !ok {
+		return Invalid, nil
+	}
+	var holders []int
+	for c := 0; c < d.cores; c++ {
+		if e.sharers&(uint64(1)<<uint(c)) != 0 {
+			holders = append(holders, c)
+		}
+	}
+	return e.state, holders
+}
+
+// CheckInvariants verifies the MESI safety properties over every tracked
+// block: Modified/Exclusive imply exactly one holder which is the owner,
+// and Shared implies at least one holder. It returns the first violation.
+func (d *Directory) CheckInvariants() error {
+	for block, e := range d.entries {
+		holders := 0
+		for c := 0; c < d.cores; c++ {
+			if e.sharers&(uint64(1)<<uint(c)) != 0 {
+				holders++
+			}
+		}
+		switch e.state {
+		case Modified, Exclusive:
+			if holders != 1 {
+				return fmt.Errorf("coherence: block %#x in %v with %d holders", block, e.state, holders)
+			}
+			if e.owner < 0 || e.sharers != uint64(1)<<uint(e.owner) {
+				return fmt.Errorf("coherence: block %#x owner/sharers mismatch", block)
+			}
+		case Shared:
+			if holders == 0 {
+				return fmt.Errorf("coherence: block %#x Shared with no holders", block)
+			}
+		case Invalid:
+			return fmt.Errorf("coherence: block %#x tracked while Invalid", block)
+		}
+	}
+	return nil
+}
+
+// Stats returns a copy of the action counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// TrackedBlocks returns the number of blocks with directory state.
+func (d *Directory) TrackedBlocks() int { return len(d.entries) }

@@ -1,0 +1,262 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func mustNew(t *testing.T, cores int) *Directory {
+	t.Helper()
+	d, err := New(cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("0 cores should error")
+	}
+	if _, err := New(65); err == nil {
+		t.Error("65 cores should error")
+	}
+	if _, err := New(4); err != nil {
+		t.Errorf("4 cores should be fine: %v", err)
+	}
+}
+
+func TestReadExclusiveThenShared(t *testing.T) {
+	d := mustNew(t, 4)
+	act := d.Read(0, 0x100)
+	if !act.WasMiss {
+		t.Error("first read should miss")
+	}
+	if st, holders := d.StateOf(0x100); st != Exclusive || len(holders) != 1 || holders[0] != 0 {
+		t.Errorf("after first read: %v %v", st, holders)
+	}
+	// Second core reads: downgrade to Shared, no writeback (was clean E).
+	act = d.Read(1, 0x100)
+	if !act.WasMiss || act.OwnerWriteback {
+		t.Errorf("E→S on remote read: %+v", act)
+	}
+	if st, holders := d.StateOf(0x100); st != Shared || len(holders) != 2 {
+		t.Errorf("after second read: %v %v", st, holders)
+	}
+	// Re-read by a sharer is silent.
+	act = d.Read(0, 0x100)
+	if act.WasMiss {
+		t.Error("sharer re-read should be silent")
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := mustNew(t, 4)
+	d.Read(0, 0x200)
+	d.Read(1, 0x200)
+	d.Read(2, 0x200)
+	act := d.Write(1, 0x200)
+	if act.Invalidated != 2 {
+		t.Errorf("upgrade should invalidate 2 sharers, got %d", act.Invalidated)
+	}
+	if act.WasMiss {
+		t.Error("upgrade by a sharer is not a directory miss")
+	}
+	if st, holders := d.StateOf(0x200); st != Modified || len(holders) != 1 || holders[0] != 1 {
+		t.Errorf("after upgrade: %v %v", st, holders)
+	}
+	if d.Stats().Upgrades != 1 {
+		t.Errorf("upgrade count %d", d.Stats().Upgrades)
+	}
+}
+
+func TestWriteAfterRemoteModified(t *testing.T) {
+	d := mustNew(t, 4)
+	d.Write(0, 0x300)
+	act := d.Write(1, 0x300)
+	if !act.OwnerWriteback || act.OwnerCore != 0 {
+		t.Errorf("M→M migration should write back the owner: %+v", act)
+	}
+	if act.Invalidated != 1 {
+		t.Errorf("old owner should be invalidated: %+v", act)
+	}
+	if st, holders := d.StateOf(0x300); st != Modified || holders[0] != 1 {
+		t.Errorf("after migration: %v %v", st, holders)
+	}
+}
+
+func TestReadAfterRemoteModified(t *testing.T) {
+	d := mustNew(t, 2)
+	d.Write(0, 0x400)
+	act := d.Read(1, 0x400)
+	if !act.OwnerWriteback || act.OwnerCore != 0 {
+		t.Errorf("M→S should write back: %+v", act)
+	}
+	if st, holders := d.StateOf(0x400); st != Shared || len(holders) != 2 {
+		t.Errorf("after M→S: %v %v", st, holders)
+	}
+}
+
+func TestSilentUpgradesAndHits(t *testing.T) {
+	d := mustNew(t, 2)
+	d.Read(0, 0x500) // E
+	act := d.Write(0, 0x500)
+	if act.WasMiss || act.Invalidated != 0 || act.OwnerWriteback {
+		t.Errorf("silent E→M should cost nothing: %+v", act)
+	}
+	act = d.Write(0, 0x500)
+	if act.WasMiss {
+		t.Error("M hit should be silent")
+	}
+	act = d.Read(0, 0x500)
+	if act.WasMiss {
+		t.Error("owner read hit should be silent")
+	}
+}
+
+func TestEvict(t *testing.T) {
+	d := mustNew(t, 2)
+	d.Write(0, 0x600)
+	if !d.Evict(0, 0x600) {
+		t.Error("evicting a Modified copy should report modified")
+	}
+	if st, _ := d.StateOf(0x600); st != Invalid {
+		t.Errorf("block should be untracked after owner eviction, got %v", st)
+	}
+	// Sharer eviction leaves the other sharer.
+	d.Read(0, 0x700)
+	d.Read(1, 0x700)
+	if d.Evict(0, 0x700) {
+		t.Error("evicting a Shared copy is not modified")
+	}
+	if st, holders := d.StateOf(0x700); st != Shared || len(holders) != 1 || holders[0] != 1 {
+		t.Errorf("after sharer eviction: %v %v", st, holders)
+	}
+	if d.Evict(3-2, 0x700); d.TrackedBlocks() != 0 {
+		t.Error("last sharer eviction should untrack the block")
+	}
+	if d.Evict(0, 0xDEAD) {
+		t.Error("evicting an untracked block is a no-op")
+	}
+}
+
+func TestDropBlock(t *testing.T) {
+	d := mustNew(t, 4)
+	d.Read(0, 0x800)
+	d.Read(2, 0x800)
+	holders, hadMod := d.DropBlock(0x800)
+	if len(holders) != 2 || hadMod {
+		t.Errorf("DropBlock = %v, %v", holders, hadMod)
+	}
+	if d.TrackedBlocks() != 0 {
+		t.Error("block should be gone")
+	}
+	d.Write(1, 0x900)
+	holders, hadMod = d.DropBlock(0x900)
+	if len(holders) != 1 || holders[0] != 1 || !hadMod {
+		t.Errorf("DropBlock of modified = %v, %v", holders, hadMod)
+	}
+	if h, m := d.DropBlock(0xAAA); h != nil || m {
+		t.Error("dropping untracked block should be empty")
+	}
+}
+
+// MESI safety invariants hold under arbitrary interleaved traffic — the
+// model-checking-style property test.
+func TestInvariantsUnderRandomTrafficProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d, err := New(4)
+		if err != nil {
+			return false
+		}
+		r := randx.New(seed)
+		for i := 0; i < 3000; i++ {
+			core := r.Intn(4)
+			block := uint64(r.Intn(32)) * 64 // small block pool to force sharing
+			switch r.Intn(4) {
+			case 0:
+				d.Read(core, block)
+			case 1:
+				d.Write(core, block)
+			case 2:
+				d.Evict(core, block)
+			case 3:
+				d.DropBlock(block)
+			}
+			if d.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckCorePanics(t *testing.T) {
+	d := mustNew(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range core should panic")
+		}
+	}()
+	d.Read(5, 0x100)
+}
+
+func TestMSIProtocolNoExclusive(t *testing.T) {
+	d, err := NewWithProtocol(2, MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Read(0, 0x100)
+	if st, holders := d.StateOf(0x100); st != Shared || len(holders) != 1 {
+		t.Errorf("MSI sole read should be Shared: %v %v", st, holders)
+	}
+	// A write by the sole sharer pays an upgrade in MSI.
+	act := d.Write(0, 0x100)
+	if !act.Upgrade || act.WasMiss || act.Invalidated != 0 {
+		t.Errorf("MSI sole-sharer write should be a pure upgrade: %+v", act)
+	}
+	if d.Stats().Upgrades != 1 {
+		t.Errorf("upgrade count %d", d.Stats().Upgrades)
+	}
+	// The same sequence in MESI is silent.
+	m, _ := New(2)
+	m.Read(0, 0x100)
+	actMESI := m.Write(0, 0x100)
+	if actMESI.Upgrade || actMESI.WasMiss {
+		t.Errorf("MESI E→M should be silent: %+v", actMESI)
+	}
+	if _, err := NewWithProtocol(2, Protocol(9)); err == nil {
+		t.Error("unknown protocol should error")
+	}
+	if MSI.String() != "MSI" || MESI.String() != "MESI" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestMSIInvariantsUnderTraffic(t *testing.T) {
+	d, err := NewWithProtocol(4, MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(77)
+	for i := 0; i < 2000; i++ {
+		core := r.Intn(4)
+		block := uint64(r.Intn(24)) * 64
+		switch r.Intn(3) {
+		case 0:
+			d.Read(core, block)
+		case 1:
+			d.Write(core, block)
+		case 2:
+			d.Evict(core, block)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package cpu models the per-core front-end structures whose behaviour
+// feeds the evaluation's metrics: a 2-bit saturating-counter branch
+// predictor (branch MPKI, %time handling mispredictions) and a data TLB
+// (TLB MPKI, avg cycles between TLB misses — Table 1 template 4's example).
+package cpu
+
+import "fmt"
+
+// BranchPredictor is a table of 2-bit saturating counters indexed by a PC
+// hash — the classic bimodal predictor.
+type BranchPredictor struct {
+	counters []uint8
+	mask     uint64
+	stats    BranchStats
+}
+
+// BranchStats counts predictor outcomes.
+type BranchStats struct {
+	Predictions uint64
+	Mispredicts uint64
+}
+
+// NewBranchPredictor builds a predictor with the given number of counters
+// (rounded up to a power of two, minimum 16). Counters start weakly taken.
+func NewBranchPredictor(entries int) *BranchPredictor {
+	n := 16
+	for n < entries {
+		n <<= 1
+	}
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 2 // weakly taken
+	}
+	return &BranchPredictor{counters: c, mask: uint64(n - 1)}
+}
+
+// Predict consumes the actual outcome of the branch at pc and reports
+// whether the predictor mispredicted it, updating the counter.
+func (b *BranchPredictor) Predict(pc uint64, taken bool) (mispredict bool) {
+	idx := (pc >> 2) & b.mask
+	ctr := b.counters[idx]
+	predictTaken := ctr >= 2
+	mispredict = predictTaken != taken
+	if taken && ctr < 3 {
+		b.counters[idx] = ctr + 1
+	}
+	if !taken && ctr > 0 {
+		b.counters[idx] = ctr - 1
+	}
+	b.stats.Predictions++
+	if mispredict {
+		b.stats.Mispredicts++
+	}
+	return mispredict
+}
+
+// Stats returns a copy of the counters.
+func (b *BranchPredictor) Stats() BranchStats { return b.stats }
+
+// TLB is a fully associative, true-LRU translation lookaside buffer over
+// fixed-size pages. The recency order is an intrusive doubly-linked list
+// over preallocated nodes, so both hits and evictions are O(1) — the TLB
+// sits on every memory access of the simulator, so this matters.
+type TLB struct {
+	entries  int
+	pageBits uint
+	slots    map[uint64]int // page → node index
+	nodes    []tlbNode
+	head     int // most recently used, -1 when empty
+	tail     int // least recently used, -1 when empty
+	free     []int
+	stats    TLBStats
+}
+
+type tlbNode struct {
+	page       uint64
+	prev, next int
+}
+
+// TLBStats counts translation outcomes.
+type TLBStats struct {
+	Lookups uint64
+	Misses  uint64
+}
+
+// NewTLB builds a TLB with the given entry count and page size (a power of
+// two).
+func NewTLB(entries int, pageSize int) (*TLB, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("cpu: non-positive TLB entries %d", entries)
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("cpu: page size %d not a power of two", pageSize)
+	}
+	bits := uint(0)
+	for 1<<bits < pageSize {
+		bits++
+	}
+	t := &TLB{
+		entries:  entries,
+		pageBits: bits,
+		slots:    make(map[uint64]int, entries),
+		nodes:    make([]tlbNode, entries),
+		head:     -1,
+		tail:     -1,
+	}
+	t.free = make([]int, entries)
+	for i := range t.free {
+		t.free[i] = i
+	}
+	return t, nil
+}
+
+// unlink removes node i from the recency list.
+func (t *TLB) unlink(i int) {
+	n := &t.nodes[i]
+	if n.prev >= 0 {
+		t.nodes[n.prev].next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next >= 0 {
+		t.nodes[n.next].prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+}
+
+// pushFront makes node i the most recently used.
+func (t *TLB) pushFront(i int) {
+	n := &t.nodes[i]
+	n.prev = -1
+	n.next = t.head
+	if t.head >= 0 {
+		t.nodes[t.head].prev = i
+	}
+	t.head = i
+	if t.tail < 0 {
+		t.tail = i
+	}
+}
+
+// Lookup translates addr, returning whether it missed. On a miss the page
+// is filled, evicting the LRU entry when full.
+func (t *TLB) Lookup(addr uint64) (miss bool) {
+	page := addr >> t.pageBits
+	t.stats.Lookups++
+	if i, ok := t.slots[page]; ok {
+		if t.head != i {
+			t.unlink(i)
+			t.pushFront(i)
+		}
+		return false
+	}
+	t.stats.Misses++
+	var i int
+	if len(t.free) > 0 {
+		i = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+	} else {
+		i = t.tail
+		t.unlink(i)
+		delete(t.slots, t.nodes[i].page)
+	}
+	t.nodes[i].page = page
+	t.slots[page] = i
+	t.pushFront(i)
+	return true
+}
+
+// Flush empties the TLB (context switch).
+func (t *TLB) Flush() {
+	clear(t.slots)
+	t.head, t.tail = -1, -1
+	t.free = t.free[:0]
+	for i := 0; i < t.entries; i++ {
+		t.free = append(t.free, i)
+	}
+}
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// Resident returns the number of valid entries.
+func (t *TLB) Resident() int { return len(t.slots) }
+
+// Gshare is a global-history branch predictor: the PC hash is XORed with a
+// shift register of recent outcomes before indexing the counter table,
+// letting it capture correlated branches the bimodal table cannot.
+type Gshare struct {
+	counters []uint8
+	mask     uint64
+	history  uint64
+	histBits uint
+	stats    BranchStats
+}
+
+// NewGshare builds a gshare predictor with the given table size (rounded
+// up to a power of two, minimum 16) and history length in bits (clamped to
+// the index width).
+func NewGshare(entries int, historyBits uint) *Gshare {
+	n := 16
+	for n < entries {
+		n <<= 1
+	}
+	idxBits := uint(0)
+	for 1<<idxBits < n {
+		idxBits++
+	}
+	if historyBits > idxBits {
+		historyBits = idxBits
+	}
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 2 // weakly taken
+	}
+	return &Gshare{counters: c, mask: uint64(n - 1), histBits: historyBits}
+}
+
+// Predict consumes the branch outcome, updating the counters and the
+// global history, and reports whether the prediction was wrong.
+func (g *Gshare) Predict(pc uint64, taken bool) (mispredict bool) {
+	idx := ((pc >> 2) ^ g.history) & g.mask
+	ctr := g.counters[idx]
+	predictTaken := ctr >= 2
+	mispredict = predictTaken != taken
+	if taken && ctr < 3 {
+		g.counters[idx] = ctr + 1
+	}
+	if !taken && ctr > 0 {
+		g.counters[idx] = ctr - 1
+	}
+	g.history = (g.history << 1) & ((1 << g.histBits) - 1)
+	if taken {
+		g.history |= 1
+	}
+	g.stats.Predictions++
+	if mispredict {
+		g.stats.Mispredicts++
+	}
+	return mispredict
+}
+
+// Stats returns a copy of the counters.
+func (g *Gshare) Stats() BranchStats { return g.stats }
+
+// Predictor is the interface both branch predictors satisfy, letting the
+// machine select one by configuration.
+type Predictor interface {
+	Predict(pc uint64, taken bool) bool
+	Stats() BranchStats
+}
+
+// Interface checks.
+var (
+	_ Predictor = (*BranchPredictor)(nil)
+	_ Predictor = (*Gshare)(nil)
+)

@@ -1,0 +1,111 @@
+// Package mem models main memory (Table 2: 3 GB, 90-cycle access) and hosts
+// the paper's variability injection point. Following Alameldeen & Wood [3]
+// and the paper's Sec. 5.2, each access can receive a small uniform random
+// extra latency (0–4 cycles by default), drawn from a seeded per-run stream:
+// enough to perturb thread interleavings while keeping each run
+// deterministic for its seed. Alternative injection sources (none, and
+// Gaussian scheduler noise applied elsewhere) support the ablation study.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+)
+
+// JitterKind selects the variability injection mode for DRAM accesses.
+type JitterKind int
+
+const (
+	// JitterUniform adds Uniform[0, Max] cycles per access — the paper's
+	// configuration (0–4 cycles on each L2 miss).
+	JitterUniform JitterKind = iota
+	// JitterNone disables injection; a deterministic simulator then yields
+	// identical runs for every seed (the ablation's degenerate case).
+	JitterNone
+)
+
+// Config sizes the memory model.
+type Config struct {
+	// BaseLatency is the unloaded access latency in cycles (Table 2: 90).
+	BaseLatency uint64
+	// Jitter selects the injection mode.
+	Jitter JitterKind
+	// JitterMax is the inclusive upper bound of the uniform extra latency.
+	JitterMax int
+	// Channels is the number of independent channels; accesses serialize
+	// per channel, modeling bandwidth contention. Zero selects 2.
+	Channels int
+	// BurstCycles is each access's occupancy of its channel. Zero selects 4.
+	BurstCycles uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Channels <= 0 {
+		c.Channels = 2
+	}
+	if c.BurstCycles == 0 {
+		c.BurstCycles = 4
+	}
+	return c
+}
+
+// DRAM is the main-memory timing model.
+type DRAM struct {
+	cfg      Config
+	rng      *randx.Rand
+	chanBusy []uint64
+	stats    Stats
+}
+
+// Stats counts memory traffic.
+type Stats struct {
+	Accesses      uint64
+	StallCycles   uint64 // cycles spent queueing on busy channels
+	JitterCycles  uint64 // total injected variability
+	MaxAccessTime uint64 // worst end-to-end access latency observed
+}
+
+// New builds a DRAM model. The rng must be a dedicated stream for this
+// component (split from the run seed) so injection is reproducible.
+func New(cfg Config, rng *randx.Rand) (*DRAM, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseLatency == 0 {
+		return nil, fmt.Errorf("mem: zero base latency")
+	}
+	if cfg.Jitter == JitterUniform && cfg.JitterMax < 0 {
+		return nil, fmt.Errorf("mem: negative jitter bound %d", cfg.JitterMax)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mem: nil rng")
+	}
+	return &DRAM{cfg: cfg, rng: rng, chanBusy: make([]uint64, cfg.Channels)}, nil
+}
+
+// Access schedules a memory access to addr issued at cycle now and returns
+// the completion cycle: queueing on the addr-mapped channel, the base
+// latency, and the injected jitter.
+func (d *DRAM) Access(addr uint64, now uint64) uint64 {
+	ch := int((addr >> 6) % uint64(len(d.chanBusy)))
+	start := now
+	if d.chanBusy[ch] > start {
+		start = d.chanBusy[ch]
+	}
+	d.stats.StallCycles += start - now
+	lat := d.cfg.BaseLatency
+	if d.cfg.Jitter == JitterUniform && d.cfg.JitterMax > 0 {
+		j := uint64(d.rng.UniformInt(0, d.cfg.JitterMax))
+		lat += j
+		d.stats.JitterCycles += j
+	}
+	d.chanBusy[ch] = start + d.cfg.BurstCycles
+	done := start + lat
+	d.stats.Accesses++
+	if total := done - now; total > d.stats.MaxAccessTime {
+		d.stats.MaxAccessTime = total
+	}
+	return done
+}
+
+// Stats returns a copy of the counters.
+func (d *DRAM) Stats() Stats { return d.stats }

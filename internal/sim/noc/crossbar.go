@@ -1,0 +1,78 @@
+// Package noc models the on-chip interconnect of Table 2: a crossbar with
+// 16-byte links (one flit per link-cycle), connecting the per-core L1s to
+// the shared L2 banks. The model is occupancy-based: each input and output
+// port serializes its flits, so a transfer's latency is the base hop latency
+// plus queueing delay behind earlier transfers on the same ports.
+package noc
+
+import "fmt"
+
+// Crossbar is an N-input, M-output crossbar with per-port occupancy.
+type Crossbar struct {
+	inBusy   []uint64 // cycle until which each input port is busy
+	outBusy  []uint64
+	hopLat   uint64 // base traversal latency in cycles
+	linkSize int    // bytes per flit
+	stats    Stats
+}
+
+// Stats counts traffic.
+type Stats struct {
+	Transfers   uint64
+	Flits       uint64
+	StallCycles uint64 // total cycles transfers waited on busy ports
+}
+
+// New builds a crossbar with the given port counts, base hop latency, and
+// link (flit) width in bytes.
+func New(inPorts, outPorts int, hopLatency uint64, linkBytes int) (*Crossbar, error) {
+	if inPorts <= 0 || outPorts <= 0 {
+		return nil, fmt.Errorf("noc: non-positive port count %d/%d", inPorts, outPorts)
+	}
+	if linkBytes <= 0 {
+		return nil, fmt.Errorf("noc: non-positive link width %d", linkBytes)
+	}
+	return &Crossbar{
+		inBusy:   make([]uint64, inPorts),
+		outBusy:  make([]uint64, outPorts),
+		hopLat:   hopLatency,
+		linkSize: linkBytes,
+	}, nil
+}
+
+// Transfer schedules a message of size bytes from input port in to output
+// port out starting no earlier than now, and returns the cycle at which the
+// message has fully traversed the crossbar. Port occupancies are advanced,
+// so later transfers on the same ports queue behind this one.
+func (x *Crossbar) Transfer(in, out int, now uint64, bytes int) uint64 {
+	if in < 0 || in >= len(x.inBusy) || out < 0 || out >= len(x.outBusy) {
+		panic(fmt.Sprintf("noc: port %d→%d out of range", in, out))
+	}
+	flits := uint64((bytes + x.linkSize - 1) / x.linkSize)
+	if flits == 0 {
+		flits = 1
+	}
+	start := now
+	if x.inBusy[in] > start {
+		start = x.inBusy[in]
+	}
+	if x.outBusy[out] > start {
+		start = x.outBusy[out]
+	}
+	x.stats.StallCycles += start - now
+	done := start + x.hopLat + flits
+	x.inBusy[in] = start + flits // input port frees after injection
+	x.outBusy[out] = done
+	x.stats.Transfers++
+	x.stats.Flits += flits
+	return done
+}
+
+// Stats returns a copy of the traffic counters.
+func (x *Crossbar) Stats() Stats { return x.stats }
+
+// InPorts and OutPorts expose geometry.
+func (x *Crossbar) InPorts() int { return len(x.inBusy) }
+
+// OutPorts returns the number of output ports.
+func (x *Crossbar) OutPorts() int { return len(x.outBusy) }

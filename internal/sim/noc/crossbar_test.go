@@ -1,0 +1,119 @@
+package noc
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 1, 16); err == nil {
+		t.Error("0 input ports should error")
+	}
+	if _, err := New(1, 0, 1, 16); err == nil {
+		t.Error("0 output ports should error")
+	}
+	if _, err := New(1, 1, 1, 0); err == nil {
+		t.Error("0 link width should error")
+	}
+	x, err := New(4, 2, 3, 16)
+	if err != nil || x.InPorts() != 4 || x.OutPorts() != 2 {
+		t.Errorf("geometry wrong: %v", err)
+	}
+}
+
+func TestUncontendedTransferLatency(t *testing.T) {
+	x, _ := New(4, 4, 3, 16)
+	// 64-byte block = 4 flits; done = now + hop(3) + 4.
+	done := x.Transfer(0, 1, 100, 64)
+	if done != 107 {
+		t.Errorf("done = %d, want 107", done)
+	}
+	st := x.Stats()
+	if st.Transfers != 1 || st.Flits != 4 || st.StallCycles != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSmallMessageRoundsUpToOneFlit(t *testing.T) {
+	x, _ := New(2, 2, 1, 16)
+	if done := x.Transfer(0, 0, 0, 8); done != 2 {
+		t.Errorf("8-byte message: done = %d, want hop(1)+1flit = 2", done)
+	}
+	if done := x.Transfer(1, 1, 0, 0); done != 2 {
+		t.Errorf("0-byte message still occupies one flit, done = %d", done)
+	}
+}
+
+func TestOutputPortContention(t *testing.T) {
+	x, _ := New(4, 4, 0, 16)
+	// Two transfers to the same output at the same time serialize.
+	d1 := x.Transfer(0, 2, 0, 64) // occupies out 2 until 4
+	d2 := x.Transfer(1, 2, 0, 64) // must wait
+	if d1 != 4 {
+		t.Errorf("first done = %d, want 4", d1)
+	}
+	if d2 != 8 {
+		t.Errorf("second done = %d, want 8 (queued)", d2)
+	}
+	if x.Stats().StallCycles != 4 {
+		t.Errorf("stall cycles = %d, want 4", x.Stats().StallCycles)
+	}
+}
+
+func TestInputPortContention(t *testing.T) {
+	x, _ := New(2, 4, 0, 16)
+	x.Transfer(0, 1, 0, 64)         // in 0 busy until 4
+	done := x.Transfer(0, 2, 0, 64) // same input, different output
+	if done != 8 {
+		t.Errorf("done = %d, want 8 (input serialization)", done)
+	}
+}
+
+func TestDistinctPortsNoContention(t *testing.T) {
+	x, _ := New(4, 4, 2, 16)
+	d1 := x.Transfer(0, 0, 10, 64)
+	d2 := x.Transfer(1, 1, 10, 64)
+	if d1 != d2 {
+		t.Errorf("independent transfers should finish together: %d vs %d", d1, d2)
+	}
+}
+
+func TestTransferPanicsOnBadPort(t *testing.T) {
+	x, _ := New(2, 2, 1, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad port should panic")
+		}
+	}()
+	x.Transfer(5, 0, 0, 64)
+}
+
+// Flit accounting: total flits equal the ceil-division sum of all message
+// sizes, regardless of contention.
+func TestFlitAccountingProperty(t *testing.T) {
+	x, _ := New(4, 4, 1, 16)
+	sizes := []int{1, 15, 16, 17, 63, 64, 65, 128}
+	var want uint64
+	for i, s := range sizes {
+		x.Transfer(i%4, (i+1)%4, uint64(i), s)
+		f := uint64((s + 15) / 16)
+		if f == 0 {
+			f = 1
+		}
+		want += f
+	}
+	if got := x.Stats().Flits; got != want {
+		t.Errorf("flits = %d, want %d", got, want)
+	}
+	if x.Stats().Transfers != uint64(len(sizes)) {
+		t.Error("transfer count wrong")
+	}
+}
+
+// Time monotonicity: a transfer never completes before now + hop latency.
+func TestTransferNeverCompletesEarly(t *testing.T) {
+	x, _ := New(2, 2, 5, 16)
+	for i := uint64(0); i < 100; i++ {
+		done := x.Transfer(int(i)%2, int(i+1)%2, i*3, 64)
+		if done < i*3+5+4 {
+			t.Fatalf("transfer at %d completed at %d, before minimum latency", i*3, done)
+		}
+	}
+}

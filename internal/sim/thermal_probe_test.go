@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestThermalProbe(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		res, err := Run("ferret", DefaultConfig(), 1.0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, _ := res.Trace.Signal("sprint_enter")
+		al, _ := res.Trace.Signal("thermal_alert")
+		tmp, _ := res.Trace.Signal("temp")
+		ne, na := 0, 0
+		for i := range se {
+			ne += int(se[i])
+			na += int(al[i])
+		}
+		fmt.Printf("seed %d: entries=%d alerts=%d tempStart=%.0f tempEnd=%.0f cycles=%d\n",
+			seed, ne, na, tmp[0], tmp[len(tmp)-1], res.Cycles)
+	}
+}

@@ -1,0 +1,36 @@
+package smc_test
+
+import (
+	"fmt"
+
+	"repro/internal/smc"
+)
+
+// The paper's headline calculation: how many executions does a hypothesis
+// test need before it can possibly convince us at F = C = 0.9?
+func ExampleMinSamples() {
+	n, _ := smc.MinSamples(0.9, 0.9)
+	np, _ := smc.MinSamplesPositive(0.9, 0.9)
+	nn, _ := smc.MinSamplesNegative(0.9, 0.9)
+	fmt.Println(n, np, nn)
+	// Output: 22 22 1
+}
+
+// Algorithm 2: a fixed sample either converges to a verdict or returns
+// None ("not enough evidence"), never a wrong level of certainty.
+func ExampleCheckFixed() {
+	outcomes := make([]bool, 22)
+	for i := range outcomes {
+		outcomes[i] = true // every execution satisfied the property
+	}
+	res, _ := smc.CheckFixed(outcomes, 0.9, 0.9)
+	fmt.Printf("%s %.4f\n", res.Assertion, res.Confidence)
+	// Output: positive 0.9015
+}
+
+// The Clopper–Pearson interval for the satisfaction probability itself.
+func ExampleProportionInterval() {
+	iv, _ := smc.ProportionInterval(20, 22, 0.9)
+	fmt.Printf("[%.3f, %.3f]\n", iv.Lo, iv.Hi)
+	// Output: [0.741, 0.984]
+}

@@ -1,0 +1,268 @@
+// Package smc implements the statistical model checking engine of the paper
+// (Sec. 3.3): hypothesis tests of the form
+//
+//	P_{σ∼S}(φ holds on σ) ≥ F
+//
+// evaluated with the Clopper–Pearson exact method (paper eq. 4–5), both in
+// the textbook sequential form (Algorithm 1) and in the fixed-sample-size
+// form the SPA framework requires (Algorithm 2). It also provides the
+// minimum-sample computation of Sec. 4.3 (eq. 6–8), a Sequential Probability
+// Ratio Test alternative, and hyperproperty checking over execution tuples
+// (both flagged as extensions in the paper).
+//
+// The engine is deliberately agnostic about what an "execution" is: a sample
+// is just the boolean outcome of evaluating a property φ on one execution σ
+// (paper eq. 2). Property evaluation itself lives in internal/stl and
+// internal/property.
+package smc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Assertion is the verdict of an SMC hypothesis test (paper eq. 3).
+type Assertion int
+
+const (
+	// Inconclusive is Algorithm 2's "None": the fixed sample set did not
+	// reach the requested confidence.
+	Inconclusive Assertion = iota
+	// Negative asserts P(φ) < F.
+	Negative
+	// Positive asserts P(φ) ≥ F.
+	Positive
+)
+
+// String implements fmt.Stringer.
+func (a Assertion) String() string {
+	switch a {
+	case Positive:
+		return "positive"
+	case Negative:
+		return "negative"
+	default:
+		return "none"
+	}
+}
+
+// Result is the outcome of an SMC check.
+type Result struct {
+	Assertion  Assertion
+	Confidence float64 // achieved Clopper–Pearson confidence C_CP
+	Satisfied  int     // M: executions on which φ held
+	Samples    int     // N: executions tested
+}
+
+// Converged reports whether the achieved confidence reached the target, in
+// which case Assertion is Positive or Negative rather than Inconclusive.
+func (r Result) Converged() bool { return r.Assertion != Inconclusive }
+
+// validate checks shared parameter domains.
+func validate(f, c float64) error {
+	if math.IsNaN(f) || f < 0 || f > 1 {
+		return fmt.Errorf("smc: proportion F=%v outside [0,1]", f)
+	}
+	if math.IsNaN(c) || c <= 0 || c >= 1 {
+		return fmt.Errorf("smc: confidence C=%v outside (0,1)", c)
+	}
+	return nil
+}
+
+// Confidence computes the Clopper–Pearson confidence level C_CP(a,b|M,N) of
+// the statistical assertion for P(φ) ≥ F after observing M successes in N
+// samples (paper eq. 4 with the bounds of eq. 5). The returned assertion is
+// Negative when M/N < F and Positive otherwise (paper eq. 3).
+func Confidence(m, n int, f float64) (Assertion, float64) {
+	if n <= 0 || m < 0 || m > n {
+		return Inconclusive, 0
+	}
+	nn := float64(n)
+	negative := float64(m)/nn < f
+	var a, b float64
+	if negative {
+		a, b = 0, f
+	} else {
+		a, b = f, 1
+	}
+	var c float64
+	switch {
+	case m == 0:
+		c = math.Pow(1-a, nn) - math.Pow(1-b, nn)
+	case m == n:
+		c = math.Pow(b, nn) - math.Pow(a, nn)
+	default:
+		c = numeric.BetaCDF(b, float64(m)+1, float64(n-m)) -
+			numeric.BetaCDF(a, float64(m), float64(n-m)+1)
+	}
+	if c < 0 {
+		c = 0
+	}
+	if negative {
+		return Negative, c
+	}
+	return Positive, c
+}
+
+// Sampler yields property outcomes from fresh executions. Implementations
+// typically run a simulation and evaluate φ on it.
+type Sampler interface {
+	// Sample runs one execution and reports whether φ held on it.
+	Sample() (bool, error)
+}
+
+// SamplerFunc adapts a function to the Sampler interface.
+type SamplerFunc func() (bool, error)
+
+// Sample implements Sampler.
+func (f SamplerFunc) Sample() (bool, error) { return f() }
+
+// ErrSampleBudget reports that CheckSequential hit its sample budget before
+// reaching the requested confidence.
+var ErrSampleBudget = errors.New("smc: sample budget exhausted before convergence")
+
+// CheckSequential is Algorithm 1: it draws executions from the sampler until
+// the Clopper–Pearson confidence of the assertion reaches c, then returns
+// the assertion. maxSamples bounds the loop (0 means 1e6); if the budget is
+// exhausted first, the partial result is returned along with
+// ErrSampleBudget. The process terminates with probability 1 whenever the
+// true satisfaction probability differs from f (see Sec. 3.3).
+func CheckSequential(s Sampler, f, c float64, maxSamples int) (Result, error) {
+	if err := validate(f, c); err != nil {
+		return Result{}, err
+	}
+	if maxSamples <= 0 {
+		maxSamples = 1_000_000
+	}
+	m := 0
+	for n := 1; n <= maxSamples; n++ {
+		ok, err := s.Sample()
+		if err != nil {
+			return Result{}, fmt.Errorf("smc: drawing sample %d: %w", n, err)
+		}
+		if ok {
+			m++
+		}
+		assertion, conf := Confidence(m, n, f)
+		if conf >= c {
+			return Result{Assertion: assertion, Confidence: conf, Satisfied: m, Samples: n}, nil
+		}
+	}
+	assertion, conf := Confidence(m, maxSamples, f)
+	return Result{Assertion: Inconclusive, Confidence: conf, Satisfied: m, Samples: maxSamples},
+		fmt.Errorf("%w (last assertion %v at C_CP=%.4f)", ErrSampleBudget, assertion, conf)
+}
+
+// CheckFixed is Algorithm 2: the constant-sample-size variant used by SPA's
+// confidence-interval construction (Sec. 4.1). Every outcome is consumed;
+// if the final confidence reaches c the assertion is returned, otherwise
+// the result is Inconclusive ("None" in the paper). Using a constant sample
+// set is what makes tests at different property thresholds directly
+// comparable.
+//
+// Note: the paper's Algorithm 2 writes the convergence check as C_CP > C
+// while its Algorithm 1 loops "while C_CP < C" (i.e. converges at ≥). We
+// use ≥ in both so that the minimum-sample counts of eq. 6–8 (which use ≤)
+// are exactly the sample sizes at which convergence becomes possible.
+func CheckFixed(outcomes []bool, f, c float64) (Result, error) {
+	if err := validate(f, c); err != nil {
+		return Result{}, err
+	}
+	if len(outcomes) == 0 {
+		return Result{}, errors.New("smc: no outcomes supplied")
+	}
+	m := 0
+	for _, ok := range outcomes {
+		if ok {
+			m++
+		}
+	}
+	n := len(outcomes)
+	assertion, conf := Confidence(m, n, f)
+	r := Result{Assertion: assertion, Confidence: conf, Satisfied: m, Samples: n}
+	if conf < c {
+		r.Assertion = Inconclusive
+	}
+	return r, nil
+}
+
+// CheckValues evaluates the property pred over a fixed sample of metric
+// values and runs CheckFixed. It is the common entry point for scalar
+// metrics ("runtime ≤ 1.1s" and friends).
+func CheckValues(values []float64, pred func(float64) bool, f, c float64) (Result, error) {
+	outcomes := make([]bool, len(values))
+	for i, v := range values {
+		outcomes[i] = pred(v)
+	}
+	return CheckFixed(outcomes, f, c)
+}
+
+// MinSamplesPositive returns the smallest N satisfying C ≤ 1^N − F^N
+// (paper eq. 6): the number of all-true samples needed to assert Positive
+// at confidence c. It errors when F = 1, for which a Positive assertion can
+// never converge.
+func MinSamplesPositive(f, c float64) (int, error) {
+	if err := validate(f, c); err != nil {
+		return 0, err
+	}
+	if f >= 1 {
+		return 0, errors.New("smc: positive assertion cannot converge at F=1")
+	}
+	if f <= 0 {
+		return 1, nil
+	}
+	n := int(math.Ceil(math.Log(1-c) / math.Log(f)))
+	if n < 1 {
+		n = 1
+	}
+	// Guard against floating-point edge effects around the ceiling.
+	for 1-math.Pow(f, float64(n)) < c {
+		n++
+	}
+	for n > 1 && 1-math.Pow(f, float64(n-1)) >= c {
+		n--
+	}
+	return n, nil
+}
+
+// MinSamplesNegative returns the smallest N satisfying C ≤ 1 − (1−F)^N
+// (paper eq. 7): the number of all-false samples needed to assert Negative.
+// It errors when F = 0.
+func MinSamplesNegative(f, c float64) (int, error) {
+	if err := validate(f, c); err != nil {
+		return 0, err
+	}
+	if f <= 0 {
+		return 0, errors.New("smc: negative assertion cannot converge at F=0")
+	}
+	if f >= 1 {
+		return 1, nil
+	}
+	n, err := MinSamplesPositive(1-f, c)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// MinSamples returns max{N+, N−} (paper eq. 8): the minimum number of
+// executions SPA must collect so that a hypothesis test at (F, C) can
+// possibly converge in either direction. For C = F = 0.9 this is 22, the
+// sample size used throughout the paper's evaluation.
+func MinSamples(f, c float64) (int, error) {
+	np, err := MinSamplesPositive(f, c)
+	if err != nil {
+		return 0, err
+	}
+	nn, err := MinSamplesNegative(f, c)
+	if err != nil {
+		return 0, err
+	}
+	if nn > np {
+		return nn, nil
+	}
+	return np, nil
+}

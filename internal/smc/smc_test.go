@@ -1,0 +1,355 @@
+package smc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestConfidenceAllTrue(t *testing.T) {
+	// M = N: C = 1 − F^N (paper eq. 6 shape).
+	for _, n := range []int{1, 5, 22, 100} {
+		a, c := Confidence(n, n, 0.9)
+		if a != Positive {
+			t.Errorf("N=%d all-true: assertion %v, want positive", n, a)
+		}
+		want := 1 - math.Pow(0.9, float64(n))
+		if math.Abs(c-want) > 1e-12 {
+			t.Errorf("N=%d all-true: C=%.12f, want %.12f", n, c, want)
+		}
+	}
+}
+
+func TestConfidenceAllFalse(t *testing.T) {
+	// M = 0: C = 1 − (1−F)^N (paper eq. 7 shape).
+	for _, n := range []int{1, 3, 22} {
+		a, c := Confidence(0, n, 0.9)
+		if a != Negative {
+			t.Errorf("N=%d all-false: assertion %v, want negative", n, a)
+		}
+		want := 1 - math.Pow(0.1, float64(n))
+		if math.Abs(c-want) > 1e-12 {
+			t.Errorf("N=%d all-false: C=%.12f, want %.12f", n, c, want)
+		}
+	}
+}
+
+func TestConfidencePaperHeadline(t *testing.T) {
+	// The paper's headline numbers: at C=F=0.9, 22 all-true samples are
+	// needed for positive, 1 all-false sample for negative.
+	if _, c := Confidence(22, 22, 0.9); c < 0.9 {
+		t.Errorf("22 all-true samples should reach C=0.9, got %.6f", c)
+	}
+	if _, c := Confidence(21, 21, 0.9); c >= 0.9 {
+		t.Errorf("21 all-true samples should NOT reach C=0.9, got %.6f", c)
+	}
+	if _, c := Confidence(0, 1, 0.9); c < 0.9-1e-12 {
+		t.Errorf("1 all-false sample should reach C=0.9, got %.6f", c)
+	}
+}
+
+func TestConfidenceGeneralCaseMatchesOneSidedCP(t *testing.T) {
+	// Negative branch: C = I_F(M+1, N−M); positive: C = 1 − I_F(M, N−M+1).
+	// Cross-check through the closed forms at M=1, N=2, F=0.9:
+	// negative since 0.5 < 0.9; I_0.9(2,1) = 0.81.
+	a, c := Confidence(1, 2, 0.9)
+	if a != Negative || math.Abs(c-0.81) > 1e-12 {
+		t.Errorf("Confidence(1,2,0.9) = %v %.12f, want negative 0.81", a, c)
+	}
+	// Positive branch at M=2, N=2 handled by all-true case; try M=9, N=10,
+	// F=0.5: positive; C = 1 − I_0.5(9, 2) = 1 − P(X≥9), X~Binom(10,0.5)
+	// = 1 − (10+1)/1024 = 1 − 11/1024.
+	a, c = Confidence(9, 10, 0.5)
+	want := 1 - 11.0/1024.0
+	if a != Positive || math.Abs(c-want) > 1e-12 {
+		t.Errorf("Confidence(9,10,0.5) = %v %.12f, want positive %.12f", a, c, want)
+	}
+}
+
+func TestConfidenceAssertionMatchesRatio(t *testing.T) {
+	f := func(mr, nr uint8, fr uint16) bool {
+		n := int(nr%100) + 1
+		m := int(mr) % (n + 1)
+		fq := float64(fr%1001) / 1000.0
+		a, c := Confidence(m, n, fq)
+		if c < 0 || c > 1 || math.IsNaN(c) {
+			return false
+		}
+		if float64(m)/float64(n) < fq {
+			return a == Negative
+		}
+		return a == Positive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfidenceDegenerateInputs(t *testing.T) {
+	if a, c := Confidence(0, 0, 0.5); a != Inconclusive || c != 0 {
+		t.Error("N=0 should be inconclusive with zero confidence")
+	}
+	if a, _ := Confidence(-1, 5, 0.5); a != Inconclusive {
+		t.Error("negative M should be inconclusive")
+	}
+	if a, _ := Confidence(6, 5, 0.5); a != Inconclusive {
+		t.Error("M > N should be inconclusive")
+	}
+}
+
+// Adding a satisfying sample must not decrease positive-side confidence in
+// the all-true regime, and confidence grows with run length.
+func TestConfidenceMonotoneAllTrue(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 200; n++ {
+		_, c := Confidence(n, n, 0.9)
+		if c < prev-1e-12 {
+			t.Fatalf("all-true confidence decreased at N=%d: %g < %g", n, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestMinSamplesHeadline(t *testing.T) {
+	n, err := MinSamples(0.9, 0.9)
+	if err != nil || n != 22 {
+		t.Errorf("MinSamples(0.9,0.9) = %d, %v; want 22", n, err)
+	}
+	np, _ := MinSamplesPositive(0.9, 0.9)
+	nn, _ := MinSamplesNegative(0.9, 0.9)
+	if np != 22 || nn != 1 {
+		t.Errorf("N+=%d N-=%d, want 22 and 1", np, nn)
+	}
+}
+
+func TestMinSamplesTable(t *testing.T) {
+	cases := []struct {
+		f, c float64
+		want int
+	}{
+		{0.5, 0.9, 4},    // 1-0.5^4 = 0.9375 ≥ 0.9; 1-0.5^3 = 0.875 < 0.9
+		{0.9, 0.95, 29},  // 1-0.9^29 ≈ 0.9529
+		{0.95, 0.9, 45},  // 1-0.95^45 ≈ 0.9006
+		{0.5, 0.99, 7},   // 1-0.5^7 ≈ 0.9922
+		{0.99, 0.9, 230}, // 1-0.99^230 ≈ 0.9007
+	}
+	for _, cse := range cases {
+		got, err := MinSamples(cse.f, cse.c)
+		if err != nil || got != cse.want {
+			t.Errorf("MinSamples(%g,%g) = %d, %v; want %d", cse.f, cse.c, got, err, cse.want)
+		}
+	}
+}
+
+// MinSamplesPositive must be the *smallest* N achieving the confidence.
+func TestMinSamplesPositiveMinimalityProperty(t *testing.T) {
+	f := func(fr, cr uint16) bool {
+		fq := 0.05 + 0.9*float64(fr%1000)/1000.0
+		cc := 0.5 + 0.499*float64(cr%1000)/1000.0
+		n, err := MinSamplesPositive(fq, cc)
+		if err != nil {
+			return false
+		}
+		_, cAtN := Confidence(n, n, fq)
+		if cAtN < cc {
+			return false
+		}
+		if n > 1 {
+			if _, cPrev := Confidence(n-1, n-1, fq); cPrev >= cc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinSamplesDegenerateF(t *testing.T) {
+	if _, err := MinSamplesPositive(1, 0.9); err == nil {
+		t.Error("F=1 positive should be impossible")
+	}
+	if _, err := MinSamplesNegative(0, 0.9); err == nil {
+		t.Error("F=0 negative should be impossible")
+	}
+	if n, err := MinSamplesPositive(0, 0.9); err != nil || n != 1 {
+		t.Errorf("F=0 positive should need 1 sample, got %d, %v", n, err)
+	}
+	if n, err := MinSamplesNegative(1, 0.9); err != nil || n != 1 {
+		t.Errorf("F=1 negative should need 1 sample, got %d, %v", n, err)
+	}
+}
+
+func TestCheckSequentialAllTrueConvergesAtMinSamples(t *testing.T) {
+	calls := 0
+	s := SamplerFunc(func() (bool, error) { calls++; return true, nil })
+	r, err := CheckSequential(s, 0.9, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assertion != Positive || r.Samples != 22 || calls != 22 {
+		t.Errorf("got %+v after %d calls, want positive at 22", r, calls)
+	}
+}
+
+func TestCheckSequentialAllFalseConvergesFast(t *testing.T) {
+	s := SamplerFunc(func() (bool, error) { return false, nil })
+	r, err := CheckSequential(s, 0.9, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assertion != Negative || r.Samples != 1 {
+		t.Errorf("got %+v, want negative at 1 sample", r)
+	}
+}
+
+func TestCheckSequentialBudgetExhaustion(t *testing.T) {
+	// True p exactly at F makes convergence very slow; tiny budget forces
+	// the error path.
+	r := randx.New(17)
+	s := SamplerFunc(func() (bool, error) { return r.Bernoulli(0.9), nil })
+	res, err := CheckSequential(s, 0.9, 0.9999, 5)
+	if !errors.Is(err, ErrSampleBudget) {
+		t.Fatalf("expected budget error, got %v", err)
+	}
+	if res.Samples != 5 || res.Assertion != Inconclusive {
+		t.Errorf("partial result %+v", res)
+	}
+}
+
+func TestCheckSequentialSamplerError(t *testing.T) {
+	boom := errors.New("boom")
+	s := SamplerFunc(func() (bool, error) { return false, boom })
+	if _, err := CheckSequential(s, 0.9, 0.9, 0); !errors.Is(err, boom) {
+		t.Errorf("sampler error not propagated: %v", err)
+	}
+}
+
+func TestCheckSequentialValidation(t *testing.T) {
+	s := SamplerFunc(func() (bool, error) { return true, nil })
+	if _, err := CheckSequential(s, -0.1, 0.9, 0); err == nil {
+		t.Error("bad F should error")
+	}
+	if _, err := CheckSequential(s, 0.9, 1.0, 0); err == nil {
+		t.Error("C=1 should error")
+	}
+}
+
+func TestCheckSequentialStatisticalConvergence(t *testing.T) {
+	// True p = 0.99 ≫ F = 0.9: the assertion should converge positive in
+	// nearly every run.
+	correct := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		r := randx.New(uint64(1000 + i))
+		s := SamplerFunc(func() (bool, error) { return r.Bernoulli(0.99), nil })
+		res, err := CheckSequential(s, 0.9, 0.9, 100000)
+		if err != nil {
+			continue
+		}
+		if res.Assertion == Positive {
+			correct++
+		}
+	}
+	if float64(correct)/trials < 0.9 {
+		t.Errorf("only %d/%d runs asserted positive for p=0.99 vs F=0.9", correct, trials)
+	}
+}
+
+func TestCheckFixedConvergedAndNone(t *testing.T) {
+	allTrue := make([]bool, 22)
+	for i := range allTrue {
+		allTrue[i] = true
+	}
+	r, err := CheckFixed(allTrue, 0.9, 0.9)
+	if err != nil || r.Assertion != Positive {
+		t.Errorf("all-true 22: %+v, %v", r, err)
+	}
+	// A mixed sample near the threshold should fail to converge.
+	mixed := make([]bool, 22)
+	for i := range mixed {
+		mixed[i] = i%10 != 0 // 20/22 ≈ 0.909, barely above F
+	}
+	r, err = CheckFixed(mixed, 0.9, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assertion != Inconclusive {
+		t.Errorf("borderline sample should be None, got %+v", r)
+	}
+	if r.Converged() {
+		t.Error("Converged() should be false for None")
+	}
+}
+
+func TestCheckFixedEmptyAndValidation(t *testing.T) {
+	if _, err := CheckFixed(nil, 0.9, 0.9); err == nil {
+		t.Error("empty outcomes should error")
+	}
+	if _, err := CheckFixed([]bool{true}, 2, 0.9); err == nil {
+		t.Error("bad F should error")
+	}
+}
+
+func TestCheckValues(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 100}
+	r, err := CheckValues(vals, func(v float64) bool { return v < 50 }, 0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Satisfied != 4 || r.Samples != 5 {
+		t.Errorf("CheckValues counted %d/%d", r.Satisfied, r.Samples)
+	}
+}
+
+// Clopper–Pearson coverage guarantee: with true p clearly away from F, the
+// error rate of converged assertions stays below 1−C.
+func TestClopperPearsonCoverage(t *testing.T) {
+	const (
+		trials = 400
+		n      = 22
+		f      = 0.9
+		c      = 0.9
+	)
+	for _, p := range []float64{0.6, 0.99} {
+		wrong, converged := 0, 0
+		truth := Positive
+		if p < f {
+			truth = Negative
+		}
+		r := randx.New(555)
+		for i := 0; i < trials; i++ {
+			outcomes := make([]bool, n)
+			for j := range outcomes {
+				outcomes[j] = r.Bernoulli(p)
+			}
+			res, err := CheckFixed(outcomes, f, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Assertion == Inconclusive {
+				continue
+			}
+			converged++
+			if res.Assertion != truth {
+				wrong++
+			}
+		}
+		if converged == 0 {
+			t.Fatalf("p=%g: no converged trials", p)
+		}
+		if rate := float64(wrong) / float64(converged); rate > 1-c {
+			t.Errorf("p=%g: error rate %.3f exceeds 1-C=%.3f (%d/%d)", p, rate, 1-c, wrong, converged)
+		}
+	}
+}
+
+func TestAssertionString(t *testing.T) {
+	if Positive.String() != "positive" || Negative.String() != "negative" || Inconclusive.String() != "none" {
+		t.Error("Assertion.String() wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package smc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SPRT implements Wald's Sequential Probability Ratio Test as an alternative
+// sequential engine. The paper (Sec. 3.3) prefers the Clopper–Pearson method
+// because SPRT needs an indifference region around F — the assumption that
+// the true probability is not within ±δ of the threshold — whereas CP only
+// assumes p ≠ F. We provide SPRT both for completeness and for the ablation
+// benchmark comparing the sample counts of the two engines.
+//
+// The test decides between H1: p ≥ F+δ (accept ⇒ Positive) and
+// H0: p ≤ F−δ (accept ⇒ Negative), with type I and II error both 1−C.
+type SPRT struct {
+	f, c, delta float64
+	logA, logB  float64 // acceptance thresholds for the log-likelihood ratio
+	p0, p1      float64
+}
+
+// NewSPRT constructs an SPRT for proportion f, confidence c, and
+// indifference half-width delta. It errors when the indifference region
+// [f−δ, f+δ] escapes (0, 1).
+func NewSPRT(f, c, delta float64) (*SPRT, error) {
+	if err := validate(f, c); err != nil {
+		return nil, err
+	}
+	if delta <= 0 {
+		return nil, errors.New("smc: SPRT indifference width must be positive")
+	}
+	p0, p1 := f-delta, f+delta
+	if p0 <= 0 || p1 >= 1 {
+		return nil, fmt.Errorf("smc: SPRT indifference region [%.4f, %.4f] escapes (0,1)", p0, p1)
+	}
+	alpha := 1 - c
+	return &SPRT{
+		f: f, c: c, delta: delta,
+		logA: math.Log((1 - alpha) / alpha),
+		logB: math.Log(alpha / (1 - alpha)),
+		p0:   p0, p1: p1,
+	}, nil
+}
+
+// Check draws samples until the likelihood ratio crosses a decision
+// threshold, up to maxSamples (0 means 1e6). On budget exhaustion it
+// returns the partial state with ErrSampleBudget.
+func (t *SPRT) Check(s Sampler, maxSamples int) (Result, error) {
+	if maxSamples <= 0 {
+		maxSamples = 1_000_000
+	}
+	var (
+		llr float64
+		m   int
+	)
+	logTrue := math.Log(t.p1 / t.p0)
+	logFalse := math.Log((1 - t.p1) / (1 - t.p0))
+	for n := 1; n <= maxSamples; n++ {
+		ok, err := s.Sample()
+		if err != nil {
+			return Result{}, fmt.Errorf("smc: SPRT sample %d: %w", n, err)
+		}
+		if ok {
+			m++
+			llr += logTrue
+		} else {
+			llr += logFalse
+		}
+		switch {
+		case llr >= t.logA:
+			return Result{Assertion: Positive, Confidence: t.c, Satisfied: m, Samples: n}, nil
+		case llr <= t.logB:
+			return Result{Assertion: Negative, Confidence: t.c, Satisfied: m, Samples: n}, nil
+		}
+	}
+	return Result{Assertion: Inconclusive, Satisfied: m, Samples: maxSamples}, ErrSampleBudget
+}

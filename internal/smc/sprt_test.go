@@ -1,0 +1,105 @@
+package smc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestNewSPRTValidation(t *testing.T) {
+	if _, err := NewSPRT(0.9, 0.9, 0); err == nil {
+		t.Error("zero delta should error")
+	}
+	if _, err := NewSPRT(0.95, 0.9, 0.1); err == nil {
+		t.Error("indifference region escaping 1 should error")
+	}
+	if _, err := NewSPRT(0.05, 0.9, 0.1); err == nil {
+		t.Error("indifference region escaping 0 should error")
+	}
+	if _, err := NewSPRT(1.5, 0.9, 0.05); err == nil {
+		t.Error("F out of range should error")
+	}
+	if _, err := NewSPRT(0.5, 0.9, 0.1); err != nil {
+		t.Error("valid SPRT construction failed")
+	}
+}
+
+func TestSPRTDecidesClearCases(t *testing.T) {
+	sprt, err := NewSPRT(0.5, 0.95, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True p = 0.9 ≫ 0.6: expect positive.
+	r := randx.New(1)
+	res, err := sprt.Check(SamplerFunc(func() (bool, error) { return r.Bernoulli(0.9), nil }), 0)
+	if err != nil || res.Assertion != Positive {
+		t.Errorf("p=0.9: %+v, %v", res, err)
+	}
+	// True p = 0.1 ≪ 0.4: expect negative.
+	r2 := randx.New(2)
+	res, err = sprt.Check(SamplerFunc(func() (bool, error) { return r2.Bernoulli(0.1), nil }), 0)
+	if err != nil || res.Assertion != Negative {
+		t.Errorf("p=0.1: %+v, %v", res, err)
+	}
+}
+
+func TestSPRTAccuracyOverTrials(t *testing.T) {
+	sprt, err := NewSPRT(0.7, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, done := 0, 0
+	for i := 0; i < 200; i++ {
+		r := randx.New(uint64(9000 + i))
+		res, err := sprt.Check(SamplerFunc(func() (bool, error) { return r.Bernoulli(0.95), nil }), 100000)
+		if err != nil {
+			continue
+		}
+		done++
+		if res.Assertion != Positive {
+			wrong++
+		}
+	}
+	if done == 0 {
+		t.Fatal("no SPRT trials converged")
+	}
+	if rate := float64(wrong) / float64(done); rate > 0.1 {
+		t.Errorf("SPRT error rate %.3f exceeds 0.1", rate)
+	}
+}
+
+func TestSPRTBudgetAndErrors(t *testing.T) {
+	sprt, _ := NewSPRT(0.5, 0.999, 0.01)
+	r := randx.New(3)
+	// p sits inside the indifference region: likelihood drifts slowly, so a
+	// tiny budget must exhaust.
+	_, err := sprt.Check(SamplerFunc(func() (bool, error) { return r.Bernoulli(0.5), nil }), 3)
+	if !errors.Is(err, ErrSampleBudget) {
+		t.Errorf("expected budget error, got %v", err)
+	}
+	boom := errors.New("boom")
+	if _, err := sprt.Check(SamplerFunc(func() (bool, error) { return false, boom }), 0); !errors.Is(err, boom) {
+		t.Errorf("sampler error not propagated: %v", err)
+	}
+}
+
+// SPRT and Clopper–Pearson must agree on clear-cut instances.
+func TestSPRTAgreesWithCP(t *testing.T) {
+	for i, p := range []float64{0.99, 0.3} {
+		sprt, _ := NewSPRT(0.8, 0.9, 0.05)
+		r1 := randx.New(uint64(40 + i))
+		sres, err := sprt.Check(SamplerFunc(func() (bool, error) { return r1.Bernoulli(p), nil }), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2 := randx.New(uint64(80 + i))
+		cres, err := CheckSequential(SamplerFunc(func() (bool, error) { return r2.Bernoulli(p), nil }), 0.8, 0.9, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Assertion != cres.Assertion {
+			t.Errorf("p=%g: SPRT %v vs CP %v", p, sres.Assertion, cres.Assertion)
+		}
+	}
+}
