@@ -15,7 +15,9 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,9 +33,16 @@ func run(args []string, w io.Writer) error {
 	out := fs.String("out", "campaign-out", "output directory for populations and the report")
 	parallel := fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	initTpl := fs.Bool("init", false, "print a template manifest and exit")
-	quiet := fs.Bool("quiet", false, "suppress progress logging")
+	quiet := fs.Bool("quiet", false, "suppress all progress output (overrides -progress)")
+	version := fs.Bool("version", false, "print build information and exit")
+	var of obs.Flags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Fprint(w, "campaign")
+		return nil
 	}
 	if *initTpl {
 		return manifest.Template().Save(w)
@@ -50,14 +59,36 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	runner := &manifest.Runner{OutDir: *out, Parallelism: *parallel}
-	if !*quiet {
-		runner.Log = w
-	}
-	report, err := runner.Run(m)
+	o, closeObs, err := of.Start("runs", w)
 	if err != nil {
 		return err
 	}
-	report.Render(w)
-	return nil
+	// Every progress line — per-entry milestones, per-run ticks, the
+	// report path — flows through the one progress reporter, so -quiet
+	// silences all of it consistently (it also overrides -progress).
+	switch {
+	case *quiet:
+		if o != nil {
+			o.Progress = nil
+		}
+	case o == nil:
+		o = &obs.Observer{Progress: obs.NewProgress(w, "runs", 0)}
+	case o.Progress == nil:
+		o.Progress = obs.NewProgress(w, "runs", 0)
+	}
+	runner := &manifest.Runner{OutDir: *out, Parallelism: *parallel, Obs: o}
+	report, err := runner.Run(m)
+	if err != nil {
+		closeObs()
+		return err
+	}
+	if !*quiet {
+		report.Render(w)
+	} else {
+		// -quiet keeps machine-readable output only: the report JSON on
+		// disk plus a single completion line.
+		fmt.Fprintf(w, "campaign %s: %d results written to %s\n",
+			report.Name, len(report.Results), runner.ReportPath(m))
+	}
+	return closeObs()
 }

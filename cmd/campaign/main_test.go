@@ -58,6 +58,96 @@ func TestEndToEndCampaign(t *testing.T) {
 	}
 }
 
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "campaign ") || !strings.Contains(buf.String(), "go: go") {
+		t.Errorf("version output wrong:\n%s", buf.String())
+	}
+}
+
+// TestTelemetryEndToEnd is the CLI acceptance check: with -trace and
+// -metrics, a small campaign emits a JSONL span per simulation run and a
+// metrics dump whose runs-completed counter equals the manifest run count.
+func TestTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	mf := filepath.Join(dir, "m.json")
+	js := `{
+ "name": "tele",
+ "seed": 3,
+ "scale": 0.05,
+ "runs": 6,
+ "entries": [{"benchmark": "swaptions"}],
+ "analyses": [{"metric": "runtime_s", "f": 0.5, "c": 0.9}]
+}`
+	if err := os.WriteFile(mf, []byte(js), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-manifest", mf, "-out", filepath.Join(dir, "results"),
+		"-trace", tracePath, "-metrics", metricsPath, "-progress",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(trace), `"name":"sim.run"`); got != 6 {
+		t.Errorf("trace has %d sim.run spans, want 6:\n%s", got, trace)
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "spa_runs_completed_total 6") {
+		t.Errorf("metrics dump missing runs_completed=6:\n%s", metrics)
+	}
+	if !strings.Contains(buf.String(), "finished 6 in") {
+		t.Errorf("progress finish line missing:\n%s", buf.String())
+	}
+}
+
+// TestQuietSilencesAllProgress pins the -quiet contract: no progress
+// lines at all, even combined with -progress; only the completion line.
+func TestQuietSilencesAllProgress(t *testing.T) {
+	dir := t.TempDir()
+	mf := filepath.Join(dir, "m.json")
+	js := `{
+ "name": "hush",
+ "seed": 3,
+ "scale": 0.05,
+ "runs": 4,
+ "entries": [{"benchmark": "swaptions"}],
+ "analyses": [{"metric": "runtime_s", "f": 0.5, "c": 0.9}]
+}`
+	if err := os.WriteFile(mf, []byte(js), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{
+		"-manifest", mf, "-out", filepath.Join(dir, "results"), "-quiet", "-progress",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"simulating", "report written", "ETA", "finished"} {
+		if strings.Contains(out, frag) {
+			t.Errorf("-quiet leaked progress fragment %q:\n%s", frag, out)
+		}
+	}
+	if !strings.Contains(out, "campaign hush: 1 results written to") {
+		t.Errorf("-quiet completion line missing:\n%s", out)
+	}
+}
+
 func TestInvalidManifestSurfaces(t *testing.T) {
 	dir := t.TempDir()
 	mf := filepath.Join(dir, "bad.json")

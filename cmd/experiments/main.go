@@ -17,7 +17,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,8 +39,15 @@ func run(args []string, w io.Writer) error {
 	trials := fs.Int("trials", 0, "override CI trial count")
 	scale := fs.Float64("scale", 0, "override workload scale")
 	seed := fs.Uint64("seed", 0, "override campaign seed")
+	version := fs.Bool("version", false, "print build information and exit")
+	var of obs.Flags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Fprint(w, "experiments")
+		return nil
 	}
 
 	if *list {
@@ -65,23 +74,33 @@ func run(args []string, w io.Writer) error {
 		opts.Seed = *seed
 	}
 	engine := exp.NewEngine(opts)
-
-	if *all {
-		return engine.RunAll(w)
+	o, closeObs, err := of.Start("runs", os.Stderr)
+	if err != nil {
+		return err
 	}
-	if *which == "" {
-		return fmt.Errorf("provide -all or -exp (ids: %s)", strings.Join(exp.ExperimentNames(), ", "))
-	}
-	for _, id := range strings.Split(*which, ",") {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
+	engine.SetObserver(o)
+	runErr := func() error {
+		if *all {
+			return engine.RunAll(w)
 		}
-		t, err := engine.Run(id)
-		if err != nil {
-			return err
+		if *which == "" {
+			return fmt.Errorf("provide -all or -exp (ids: %s)", strings.Join(exp.ExperimentNames(), ", "))
 		}
-		t.Render(w)
+		for _, id := range strings.Split(*which, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			t, err := engine.Run(id)
+			if err != nil {
+				return err
+			}
+			t.Render(w)
+		}
+		return nil
+	}()
+	if cerr := closeObs(); runErr == nil {
+		runErr = cerr
 	}
-	return nil
+	return runErr
 }

@@ -2,9 +2,39 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "experiments ") {
+		t.Errorf("version output wrong:\n%s", buf.String())
+	}
+}
+
+func TestTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var buf bytes.Buffer
+	// fig5 simulates the two speedup populations (base + improved L2),
+	// so -runs 12 yields 24 completed simulations.
+	if err := run([]string{"-exp", "fig5", "-quick", "-runs", "12", "-metrics", metricsPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "spa_runs_completed_total 24") {
+		t.Errorf("metrics dump missing run counter:\n%s", metrics)
+	}
+}
 
 func TestListExperiments(t *testing.T) {
 	var buf bytes.Buffer

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -46,8 +48,15 @@ func run(args []string, w io.Writer) error {
 	protocol := fs.String("protocol", "", "override coherence protocol: mesi or msi")
 	replacement := fs.String("replacement", "", "override replacement policy: lru, fifo or random")
 	bp := fs.String("bp", "", "override branch predictor: bimodal or gshare")
+	version := fs.Bool("version", false, "print build information and exit")
+	var of obs.Flags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Fprint(w, "simrun")
+		return nil
 	}
 
 	if *list {
@@ -88,8 +97,18 @@ func run(args []string, w io.Writer) error {
 		cfg.BPKind = *bp
 	}
 
-	pop, err := population.Generate(*bench, cfg, *scale, *runs, *seed, *parallel)
+	o, closeObs, err := of.Start("runs", os.Stderr)
 	if err != nil {
+		return err
+	}
+	o.P().AddTotal(*runs)
+	pop, err := population.GenerateHooked(*bench, cfg, *scale, *runs, *seed, *parallel,
+		population.ObserverHooks(o, *bench))
+	if err != nil {
+		closeObs()
+		return err
+	}
+	if err := closeObs(); err != nil {
 		return err
 	}
 

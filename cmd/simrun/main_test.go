@@ -52,6 +52,44 @@ func TestCampaignSummaryAndJSON(t *testing.T) {
 	}
 }
 
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "simrun ") {
+		t.Errorf("version output wrong:\n%s", buf.String())
+	}
+}
+
+func TestTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "m.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-bench", "swaptions", "-runs", "3", "-scale", "0.05",
+		"-trace", tracePath, "-metrics", metricsPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(trace), `"name":"sim.run"`); got != 3 {
+		t.Errorf("trace has %d sim.run spans, want 3:\n%s", got, trace)
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), `"spa_runs_completed_total": 3`) {
+		t.Errorf("JSON metrics dump missing counter:\n%s", metrics)
+	}
+}
+
 func TestVariants(t *testing.T) {
 	for _, v := range []string{"default", "hardware", "l2half", "l2double"} {
 		var buf bytes.Buffer

@@ -29,13 +29,20 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/ci"
 	"repro/internal/core"
 	"repro/internal/gem5"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/smc"
 	"repro/internal/stats"
 )
+
+// telemetry is the process-wide observer, built from the global telemetry
+// flags in run. Nil (the default) disables all instrumentation; every
+// obs call below is nil-safe.
+var telemetry *obs.Observer
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -45,6 +52,33 @@ func main() {
 }
 
 func run(args []string) error {
+	// Global flags come before the subcommand (Parse stops at the first
+	// non-flag): spa [-version] [-trace f] [-metrics f] [-pprof addr] <sub> ...
+	gfs := flag.NewFlagSet("spa", flag.ContinueOnError)
+	gfs.Usage = usage
+	version := gfs.Bool("version", false, "print build information and exit")
+	var of obs.Flags
+	of.Register(gfs)
+	if err := gfs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		buildinfo.Fprint(os.Stdout, "spa")
+		return nil
+	}
+	o, closeObs, err := of.Start("analyses", os.Stderr)
+	if err != nil {
+		return err
+	}
+	telemetry = o
+	err = dispatch(gfs.Args())
+	if cerr := closeObs(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func dispatch(args []string) error {
 	if len(args) == 0 {
 		usage()
 		return errors.New("missing subcommand")
@@ -74,7 +108,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: spa <ci|test|compare|proportion|hyper|minsamples> [flags]
+	fmt.Fprintln(os.Stderr, `usage: spa [global flags] <ci|test|compare|proportion|hyper|minsamples> [flags]
   ci          confidence interval for the metric at proportion F
   test        SMC hypothesis test of "metric ⋈ threshold"
   compare     CI from SPA and the prior techniques side by side
@@ -82,6 +116,8 @@ func usage() {
   hyper       hyperproperty check: executions pairwise within a gap
   stats       list metric names available in a gem5/simrun population
   minsamples  minimum executions required for (F, C)
+global flags (before the subcommand): -version, -trace FILE, -metrics FILE,
+  -pprof ADDR, -progress — see README "Observability"
 run "spa <subcommand> -h" for flags`)
 }
 
@@ -194,22 +230,29 @@ func runCI(args []string) error {
 		return err
 	}
 	p := core.Params{F: *f, C: *c, Direction: direction, Granularity: *gran}
+	span := telemetry.T().StartSpan("spa.ci", obs.Int("samples", len(xs)),
+		obs.F64("f", *f), obs.F64("c", *c), obs.Bool("sweep", *sweep))
 	var iv interface{ Width() float64 }
 	if *sweep {
 		got, err := core.ConfidenceIntervalSweep(xs, p)
+		telemetry.CIBuilt("SPA", got.Width(), err)
 		if err != nil {
+			span.End(obs.Str("error", err.Error()))
 			return err
 		}
 		iv = got
 		fmt.Printf("SPA CI (sweep): [%.6g, %.6g]\n", got.Lo, got.Hi)
 	} else {
 		got, err := core.ConfidenceInterval(xs, p)
+		telemetry.CIBuilt("SPA", got.Width(), err)
 		if err != nil {
+			span.End(obs.Str("error", err.Error()))
 			return err
 		}
 		iv = got
 		fmt.Printf("SPA CI: [%.6g, %.6g]\n", got.Lo, got.Hi)
 	}
+	span.End(obs.F64("width", iv.Width()))
 	fmt.Printf("width: %.6g\n", iv.Width())
 	fmt.Printf("samples: %d, F=%g, C=%g, property: metric %s v\n", len(xs), *f, *c, direction)
 	return nil
@@ -234,10 +277,16 @@ func runTest(args []string) error {
 	if err != nil {
 		return err
 	}
+	span := telemetry.T().StartSpan("spa.smc_test", obs.Int("samples", len(xs)),
+		obs.F64("f", *f), obs.F64("c", *c), obs.F64("threshold", *thr))
+	telemetry.M().Counter(obs.MetricSMCTests).Inc()
 	res, err := core.HypothesisTest(xs, *thr, core.Params{F: *f, C: *c, Direction: direction})
 	if err != nil {
+		span.End(obs.Str("error", err.Error()))
 		return err
 	}
+	span.End(obs.Str("assertion", res.Assertion.String()),
+		obs.F64("confidence", res.Confidence), obs.Int("satisfied", res.Satisfied))
 	fmt.Printf("property: metric %s %g for ≥%g of executions\n", direction, *thr, *f)
 	fmt.Printf("satisfied: %d/%d\n", res.Satisfied, res.Samples)
 	fmt.Printf("assertion: %s (C_CP = %.4f, requested C = %g)\n", res.Assertion, res.Confidence, *c)

@@ -224,3 +224,53 @@ func TestStatsSubcommand(t *testing.T) {
 		t.Error("stats without input should error")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Errorf("-version failed: %v", err)
+	}
+}
+
+func TestGlobalTelemetryFlags(t *testing.T) {
+	path := manyValues(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	err := run([]string{
+		"-trace", tracePath, "-metrics", metricsPath,
+		"ci", "-input", path, "-f", "0.5", "-c", "0.9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"name":"spa.ci"`) {
+		t.Errorf("trace missing spa.ci span:\n%s", trace)
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "spa_ci_built_total 1") {
+		t.Errorf("metrics dump missing CI counter:\n%s", metrics)
+	}
+	// An SMC test increments the test counter.
+	metricsPath2 := filepath.Join(dir, "metrics2.prom")
+	err = run([]string{
+		"-metrics", metricsPath2,
+		"test", "-input", path, "-threshold", "1.5", "-f", "0.5", "-c", "0.9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics2, err := os.ReadFile(metricsPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics2), "spa_smc_tests_total 1") {
+		t.Errorf("metrics dump missing SMC test counter:\n%s", metrics2)
+	}
+}

@@ -1,0 +1,49 @@
+// Package buildinfo prints build identification for the CLIs' -version
+// flags, sourced from the Go build info embedded in the binary.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Fprint writes a short multi-line version report for the named command:
+// module version (or "(devel)"), Go toolchain, platform, and VCS
+// revision/time/dirty state when the binary was built from a checkout.
+func Fprint(w io.Writer, command string) {
+	version, extras := "unknown", []string(nil)
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		version = bi.Main.Version
+		if version == "" {
+			version = "(devel)"
+		}
+		var rev, at string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.time":
+				at = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "+dirty"
+			}
+			extras = append(extras, fmt.Sprintf("vcs: %s (%s)", rev, at))
+		}
+	}
+	fmt.Fprintf(w, "%s %s\n", command, version)
+	fmt.Fprintf(w, "go: %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	for _, line := range extras {
+		fmt.Fprintln(w, line)
+	}
+}

@@ -21,6 +21,10 @@ type WidthOptions struct {
 	Batch int
 	// BaseSeed seeds the campaign.
 	BaseSeed uint64
+	// Hooks receive per-execution and per-round telemetry callbacks; the
+	// zero value disables them (see Hooks). Seeds reported to hooks are
+	// campaign-absolute (BaseSeed included).
+	Hooks Hooks
 }
 
 // ErrWidthBudget reports that AnalyzeToWidth hit MaxSamples before the
@@ -62,10 +66,13 @@ func AnalyzeToWidth(run RunFunc, p Params, w WidthOptions) (*Analysis, error) {
 
 	samples := make([]float64, 0, minN)
 	next := uint64(0)
+	// The inner collect uses relative seeds, so shift what hooks observe
+	// back to campaign-absolute seeds.
+	hooks := w.Hooks.shifted(w.BaseSeed)
 	collect := func(n int) error {
-		fresh, err := Collect(func(seed uint64) (float64, error) {
+		fresh, err := CollectHooks(func(seed uint64) (float64, error) {
 			return run(w.BaseSeed + seed)
-		}, next, n, w.Batch)
+		}, next, n, w.Batch, hooks)
 		if err != nil {
 			return err
 		}
@@ -81,6 +88,9 @@ func AnalyzeToWidth(run RunFunc, p Params, w WidthOptions) (*Analysis, error) {
 		iv, err := ConfidenceInterval(samples, p)
 		if err != nil {
 			return nil, err
+		}
+		if w.Hooks.OnRound != nil {
+			w.Hooks.OnRound(len(samples), iv.Width())
 		}
 		a := &Analysis{Params: p, Samples: append([]float64(nil), samples...), Interval: iv, MinSamples: minN}
 		if iv.Width() <= w.TargetWidth {

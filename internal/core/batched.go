@@ -55,7 +55,7 @@ func CheckBatched(run RunFunc, pred func(float64) bool, p Params, opts Options) 
 		if launched+size > budget {
 			size = budget - launched
 		}
-		values, err := Collect(run, opts.BaseSeed+uint64(launched), size, size)
+		values, err := CollectHooks(run, opts.BaseSeed+uint64(launched), size, size, opts.Hooks)
 		if err != nil {
 			return BatchedResult{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -19,8 +20,15 @@ type RunFunc func(seed uint64) (float64, error)
 // batch at a time in parallel (batch ≤ 0 means fully parallel), and returns
 // the metrics ordered by seed offset. The ordering guarantee means the
 // result is independent of goroutine scheduling, preserving replicability.
-// The first execution error, if any, is returned after the batch drains.
+// Execution errors are aggregated with errors.Join after the batch drains,
+// so a multi-seed failure surfaces every failing seed in one pass.
 func Collect(run RunFunc, baseSeed uint64, n, batch int) ([]float64, error) {
+	return CollectHooks(run, baseSeed, n, batch, Hooks{})
+}
+
+// CollectHooks is Collect with per-execution observability callbacks; see
+// Hooks. Zero hooks take the exact Collect fast path.
+func CollectHooks(run RunFunc, baseSeed uint64, n, batch int, h Hooks) ([]float64, error) {
 	if run == nil {
 		return nil, errors.New("core: nil RunFunc")
 	}
@@ -33,6 +41,7 @@ func Collect(run RunFunc, baseSeed uint64, n, batch int) ([]float64, error) {
 	out := make([]float64, n)
 	errs := make([]error, n)
 	sem := make(chan struct{}, batch)
+	observed := h.enabled()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -40,14 +49,30 @@ func Collect(run RunFunc, baseSeed uint64, n, batch int) ([]float64, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i], errs[i] = run(baseSeed + uint64(i))
+			seed := baseSeed + uint64(i)
+			if !observed {
+				out[i], errs[i] = run(seed)
+				return
+			}
+			if h.OnRunStart != nil {
+				h.OnRunStart(seed)
+			}
+			start := time.Now()
+			out[i], errs[i] = run(seed)
+			if h.OnRunDone != nil {
+				h.OnRunDone(seed, out[i], errs[i], time.Since(start))
+			}
 		}(i)
 	}
 	wg.Wait()
+	var joined []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: execution with seed %d: %w", baseSeed+uint64(i), err)
+			joined = append(joined, fmt.Errorf("core: execution with seed %d: %w", baseSeed+uint64(i), err))
 		}
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
 	}
 	return out, nil
 }
@@ -70,6 +95,9 @@ type Options struct {
 	Batch int
 	// BaseSeed seeds the campaign; run i uses BaseSeed+i.
 	BaseSeed uint64
+	// Hooks receive per-execution telemetry callbacks; the zero value
+	// disables them (see Hooks).
+	Hooks Hooks
 }
 
 // Analyze is the push-button entry point of the SPA framework: it computes
@@ -92,7 +120,7 @@ func Analyze(run RunFunc, p Params, opts Options) (*Analysis, error) {
 		return nil, fmt.Errorf("%w: requested %d executions, (F=%g, C=%g) needs at least %d",
 			ErrInsufficientSamples, n, p.F, p.C, minN)
 	}
-	samples, err := Collect(run, opts.BaseSeed, n, opts.Batch)
+	samples, err := CollectHooks(run, opts.BaseSeed, n, opts.Batch, opts.Hooks)
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ci"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/randx"
 	"repro/internal/sim"
@@ -114,10 +115,17 @@ func (v Variant) Config() sim.Config {
 // simulated once.
 type Engine struct {
 	opts Options
+	obs  *obs.Observer
 
 	mu   sync.Mutex
 	pops map[string]*population.Population
 }
+
+// SetObserver attaches campaign telemetry: per-simulation spans/counters
+// during population generation, per-evaluation spans, and trial counters.
+// Telemetry never touches the trial or simulation RNG streams, so results
+// are identical with or without it.
+func (e *Engine) SetObserver(o *obs.Observer) { e.obs = o }
 
 // NewEngine builds an engine. Zero-valued option fields are filled from
 // DefaultOptions.
@@ -167,8 +175,11 @@ func (e *Engine) Population(bench string, v Variant) (*population.Population, er
 	if ok {
 		return pop, nil
 	}
-	pop, err := population.Generate(bench, v.Config(), e.opts.Scale, runs,
-		e.opts.Seed*1_000_003+uint64(v)*1009, e.opts.Parallelism)
+	e.obs.Logf("simulating %s/%s: %d runs", bench, v, runs)
+	e.obs.P().AddTotal(runs)
+	pop, err := population.GenerateHooked(bench, v.Config(), e.opts.Scale, runs,
+		e.opts.Seed*1_000_003+uint64(v)*1009, e.opts.Parallelism,
+		population.ObserverHooks(e.obs, bench))
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +277,10 @@ func (e *Engine) trialSamples(f, c float64) (int, error) {
 // CI from the same draw, and coverage of the population ground truth and
 // widths are tallied.
 func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c float64, methods []Method) ([]MethodEval, error) {
+	span := e.obs.T().StartSpan("exp.evaluate_ci",
+		obs.Str("benchmark", pop.Benchmark), obs.Str("metric", metric),
+		obs.F64("f", f), obs.F64("c", c), obs.Int("trials", e.opts.Trials))
+	defer span.End()
 	truth, err := pop.GroundTruth(metric, f)
 	if err != nil {
 		return nil, err
@@ -347,6 +362,9 @@ func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c floa
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if len(evals) > 0 {
+		e.obs.M().Counter(obs.MetricTrials).Add(int64(evals[0].Trials))
 	}
 	for i := range evals {
 		produced := evals[i].Trials - evals[i].Nulls

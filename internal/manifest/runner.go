@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/stats"
 )
@@ -43,14 +44,16 @@ type Runner struct {
 	OutDir string
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
-	// Log, when non-nil, receives progress lines.
-	Log io.Writer
+	// Obs receives campaign telemetry: progress lines and per-run ticks
+	// through its Progress, per-run/per-analysis spans through its
+	// Tracer, and counters/histograms through its Metrics. Nil (or any
+	// nil field) disables that backend. It replaces the old ad-hoc Log
+	// writer; for plain progress lines use obs.NewProgress on a writer.
+	Obs *obs.Observer
 }
 
 func (r *Runner) logf(format string, args ...any) {
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, format+"\n", args...)
-	}
+	r.Obs.Logf(format, args...)
 }
 
 // popPath is the population file for an entry.
@@ -81,6 +84,9 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 		scale = 1.0
 	}
 	report := &Report{Name: m.Name}
+	campaign := r.Obs.T().StartSpan("campaign", obs.Str("name", m.Name),
+		obs.Int("entries", len(m.Entries)), obs.Int("analyses", len(m.Analyses)))
+	defer campaign.End()
 
 	for i, e := range m.Entries {
 		pop, reused, err := r.loadOrGenerate(m, e, i, scale)
@@ -91,32 +97,7 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 			report.Reused = append(report.Reused, e.key())
 		}
 		for _, a := range m.Analyses {
-			res := AnalysisResult{
-				Entry: e.key(), Metric: a.Metric, F: a.F, C: a.C,
-				Direction: a.Direction,
-			}
-			if res.Direction == "" {
-				res.Direction = "atmost"
-			}
-			p, err := a.Params()
-			if err != nil {
-				res.Err = err.Error()
-				report.Results = append(report.Results, res)
-				continue
-			}
-			xs, err := pop.Metric(a.Metric)
-			if err != nil {
-				res.Err = err.Error()
-				report.Results = append(report.Results, res)
-				continue
-			}
-			res.Samples = len(xs)
-			iv, err := core.ConfidenceInterval(xs, p)
-			if err != nil {
-				res.Err = err.Error()
-			} else {
-				res.Interval = iv
-			}
+			res := r.analyze(e, a, pop)
 			report.Results = append(report.Results, res)
 		}
 	}
@@ -135,6 +116,43 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 	return report, nil
 }
 
+// analyze runs one analysis on an entry's population, recording a span
+// and the CI construction metrics.
+func (r *Runner) analyze(e Entry, a Analysis, pop *population.Population) AnalysisResult {
+	res := AnalysisResult{
+		Entry: e.key(), Metric: a.Metric, F: a.F, C: a.C,
+		Direction: a.Direction,
+	}
+	if res.Direction == "" {
+		res.Direction = "atmost"
+	}
+	span := r.Obs.T().StartSpan("campaign.analysis", obs.Str("entry", res.Entry),
+		obs.Str("metric", a.Metric), obs.F64("f", a.F), obs.F64("c", a.C))
+	fail := func(err error) AnalysisResult {
+		res.Err = err.Error()
+		r.Obs.CIBuilt("SPA", 0, err)
+		span.End(obs.Str("error", res.Err))
+		return res
+	}
+	p, err := a.Params()
+	if err != nil {
+		return fail(err)
+	}
+	xs, err := pop.Metric(a.Metric)
+	if err != nil {
+		return fail(err)
+	}
+	res.Samples = len(xs)
+	iv, err := core.ConfidenceInterval(xs, p)
+	if err != nil {
+		return fail(err)
+	}
+	res.Interval = iv
+	r.Obs.CIBuilt("SPA", iv.Width(), nil)
+	span.End(obs.Int("samples", res.Samples), obs.F64("width", iv.Width()))
+	return res
+}
+
 // loadOrGenerate resumes an entry's population from disk or simulates it.
 func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*population.Population, bool, error) {
 	path := r.popPath(m, e)
@@ -145,6 +163,8 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 			return nil, false, fmt.Errorf("resuming from %s: %w", path, err)
 		}
 		r.logf("reusing %s (%d runs)", path, pop.Runs)
+		r.Obs.M().Counter(obs.MetricEntriesReused).Inc()
+		r.Obs.T().Event("campaign.reused", obs.Str("entry", e.key()), obs.Int("runs", pop.Runs))
 		return pop, true, nil
 	}
 	cfg, err := e.Config()
@@ -159,8 +179,12 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 		runs = 100
 	}
 	r.logf("simulating %s: %d runs at scale %g", e.key(), runs, scale)
-	pop, err := population.Generate(e.Benchmark, cfg, scale, runs,
-		m.Seed+uint64(idx)*1_000_000, r.Parallelism)
+	// Totals grow entry by entry (resume skips entries), so ETA reflects
+	// the work discovered so far.
+	r.Obs.P().AddTotal(runs)
+	pop, err := population.GenerateHooked(e.Benchmark, cfg, scale, runs,
+		m.Seed+uint64(idx)*1_000_000, r.Parallelism,
+		population.ObserverHooks(r.Obs, e.Benchmark))
 	if err != nil {
 		return nil, false, err
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -33,7 +34,7 @@ func tinyManifest() *Manifest {
 func TestRunnerEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	var log bytes.Buffer
-	r := &Runner{OutDir: dir, Log: &log}
+	r := &Runner{OutDir: dir, Obs: &obs.Observer{Progress: obs.NewProgress(&log, "runs", 0)}}
 	rep, err := r.Run(tinyManifest())
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +77,75 @@ func TestRunnerEndToEnd(t *testing.T) {
 	}
 	if back.Name != "tiny" || len(back.Results) != 6 {
 		t.Errorf("report round trip wrong: %+v", back)
+	}
+}
+
+// TestRunnerTelemetry is the observability acceptance check: with tracing
+// and metrics enabled, a campaign emits one "sim.run" span per simulation
+// and the runs-completed counter equals the manifest's total run count —
+// and the populations are bit-identical to an unobserved campaign.
+func TestRunnerTelemetry(t *testing.T) {
+	m := tinyManifest()
+	wantRuns := 0
+	for _, e := range m.Entries {
+		runs := e.Runs
+		if runs <= 0 {
+			runs = m.Runs
+		}
+		wantRuns += runs
+	}
+
+	var trace, progress bytes.Buffer
+	o := &obs.Observer{
+		Tracer:   obs.NewTracer(&trace),
+		Metrics:  obs.NewRegistry(),
+		Progress: obs.NewProgress(&progress, "runs", 0),
+	}
+	dir := t.TempDir()
+	r := &Runner{OutDir: dir, Obs: o}
+	rep, err := r.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := o.Metrics.Counter(obs.MetricRunsCompleted).Value(); got != int64(wantRuns) {
+		t.Errorf("runs_completed %d, want %d", got, wantRuns)
+	}
+	if got := o.Metrics.Counter(obs.MetricRunsFailed).Value(); got != 0 {
+		t.Errorf("runs_failed %d, want 0", got)
+	}
+	if got := strings.Count(trace.String(), `"name":"sim.run"`); got != wantRuns {
+		t.Errorf("trace has %d sim.run spans, want %d", got, wantRuns)
+	}
+	if got := strings.Count(trace.String(), `"name":"campaign.analysis"`); got != len(rep.Results) {
+		t.Errorf("trace has %d analysis spans, want %d", got, len(rep.Results))
+	}
+	if done, total := o.Progress.Counts(); done != int64(wantRuns) || total != int64(wantRuns) {
+		t.Errorf("progress %d/%d, want %d/%d", done, total, wantRuns, wantRuns)
+	}
+	// CI metrics: 4 analyses succeed, 2 fail (bogus metric per entry).
+	if ok, bad := o.Metrics.Counter(obs.MetricCIBuilt).Value(), o.Metrics.Counter(obs.MetricCIFailed).Value(); ok != 4 || bad != 2 {
+		t.Errorf("ci built/failed %d/%d, want 4/2", ok, bad)
+	}
+
+	// Determinism: an unobserved campaign yields bit-identical populations.
+	plainDir := t.TempDir()
+	plain := &Runner{OutDir: plainDir}
+	if _, err := plain.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tiny-swaptions-default.json", "tiny-swaptions-l2half.json"} {
+		a, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(plainDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("telemetry perturbed population %s", name)
+		}
 	}
 }
 

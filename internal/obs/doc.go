@@ -1,0 +1,18 @@
+// Package obs is the observability layer for SPA campaigns: a lightweight
+// span/event tracer emitting JSONL, a concurrent metrics registry with
+// Prometheus-text, JSON and expvar exposition, a campaign progress/ETA
+// reporter, and a pprof server helper.
+//
+// Design constraints, in priority order:
+//
+//   - Zero dependencies: standard library only, and no imports of other
+//     repro packages, so every layer of the pipeline may depend on obs.
+//   - Nil safety: every method on *Tracer, *Span, *Registry, *Counter,
+//     *Gauge, *Histogram, *Progress and *Observer is a no-op on a nil
+//     receiver. Instrumented code never guards call sites; disabling
+//     telemetry is leaving the pointer nil.
+//   - Allocation-light when disabled: a nil tracer/registry adds only a
+//     nil check to the hot RunFunc path (guarded by a benchmark in
+//     internal/core), and telemetry never touches simulation RNG streams,
+//     so enabling it cannot perturb determinism.
+package obs

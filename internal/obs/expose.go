@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// snapshot is a point-in-time copy of the registry, used by every
+// exposition format so they agree on what they saw.
+type snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]histogramStats `json:"histograms,omitempty"`
+}
+
+type histogramStats struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Buckets []histogramBound `json:"buckets,omitempty"`
+}
+
+type histogramBound struct {
+	LE         string `json:"le"` // formatted upper bound; "+Inf" for the last bucket
+	Cumulative int64  `json:"cumulative"`
+}
+
+func (r *Registry) snapshot() snapshot {
+	var s snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]histogramStats, len(r.histograms))
+		for n, h := range r.histograms {
+			hs := histogramStats{Count: h.Count(), Sum: h.Sum(), Mean: h.Mean()}
+			var cum int64
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				if cum == 0 {
+					continue // leading empty buckets add no information
+				}
+				le := "+Inf"
+				if i < len(histBuckets) {
+					le = fmt.Sprintf("%g", histBuckets[i])
+				}
+				hs.Buckets = append(hs.Buckets, histogramBound{LE: le, Cumulative: cum})
+			}
+			s.Histograms[n] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry as one indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.snapshot())
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4): counters as `counter`, gauges as `gauge`,
+// histograms as `histogram` with cumulative `_bucket{le=...}` series.
+// Families are sorted by name so output is diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.snapshot()
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		pf("# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pf("# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pf("# TYPE %s histogram\n", name)
+		for _, b := range h.Buckets {
+			pf("%s_bucket{le=%q} %d\n", name, b.LE, b.Cumulative)
+		}
+		pf("%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// expvarPublished guards against double-publishing, which expvar treats
+// as a fatal error; republishing an existing name is a no-op here.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry under the given expvar name (shown
+// at /debug/vars when an HTTP server — e.g. the -pprof one — is up). The
+// value re-snapshots on every read.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || name == "" {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.snapshot() }))
+}

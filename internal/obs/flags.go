@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Flags is the shared CLI surface for telemetry, registered identically on
+// every command (spa, simrun, campaign, experiments).
+type Flags struct {
+	Trace    string
+	Metrics  string
+	Pprof    string
+	Progress bool
+}
+
+// Register installs the telemetry flags on a FlagSet.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "", "write a JSONL span/event trace to this file (- for stderr)")
+	fs.StringVar(&f.Metrics, "metrics", "", "dump metrics at exit to this file (- for stderr; .json selects JSON, otherwise Prometheus text)")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	fs.BoolVar(&f.Progress, "progress", false, "report campaign progress (done/total, rate, ETA)")
+}
+
+// Enabled reports whether any telemetry backend was requested.
+func (f *Flags) Enabled() bool {
+	return f.Trace != "" || f.Metrics != "" || f.Pprof != "" || f.Progress
+}
+
+// Start builds the Observer the flags describe and returns a close
+// function that flushes everything (metrics dump, trace file, pprof
+// server, final progress line). label names the progress stream;
+// progressW receives progress lines (falling back to stderr when nil).
+// A fully disabled flag set yields a nil Observer and a no-op close.
+func (f *Flags) Start(label string, progressW io.Writer) (*Observer, func() error, error) {
+	if !f.Enabled() {
+		return nil, func() error { return nil }, nil
+	}
+	o := &Observer{}
+	var closers []func() error
+
+	if f.Trace != "" {
+		w, c, err := openSink(f.Trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		o.Tracer = NewTracer(w)
+		closers = append(closers, c)
+	}
+	// Any telemetry mode gets a registry: pprof exposes it via
+	// /debug/vars, traces and progress cost nothing to count alongside.
+	o.Metrics = NewRegistry()
+	o.Metrics.PublishExpvar("spa_metrics")
+	if f.Metrics != "" {
+		w, c, err := openSink(f.Metrics)
+		if err != nil {
+			closeAll(closers)
+			return nil, nil, err
+		}
+		reg := o.Metrics
+		dumpJSON := strings.HasSuffix(f.Metrics, ".json")
+		closers = append(closers, func() error {
+			if dumpJSON {
+				if err := reg.WriteJSON(w); err != nil {
+					return err
+				}
+			} else if err := reg.WritePrometheus(w); err != nil {
+				return err
+			}
+			return c()
+		})
+	}
+	if f.Pprof != "" {
+		addr, stop, err := StartPprof(f.Pprof)
+		if err != nil {
+			closeAll(closers)
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+		closers = append(closers, func() error { stop(); return nil })
+	}
+	if f.Progress {
+		if progressW == nil {
+			progressW = os.Stderr
+		}
+		o.Progress = NewProgress(progressW, label, 0)
+	}
+
+	closeFn := func() error {
+		o.Progress.Finish()
+		return closeAll(closers)
+	}
+	return o, closeFn, nil
+}
+
+// openSink resolves a flag path: "-" means stderr (never closed).
+func openSink(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stderr, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func closeAll(closers []func() error) error {
+	var first error
+	for i := len(closers) - 1; i >= 0; i-- {
+		if err := closers[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

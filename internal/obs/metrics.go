@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Standard metric names used across the pipeline, so exposition is uniform
+// no matter which layer incremented them.
+const (
+	MetricRunsStarted   = "spa_runs_started_total"
+	MetricRunsCompleted = "spa_runs_completed_total"
+	MetricRunsFailed    = "spa_runs_failed_total"
+	MetricRunDuration   = "spa_run_duration_seconds"
+	MetricSMCTests      = "spa_smc_tests_total"
+	MetricCIBuilt       = "spa_ci_built_total"
+	MetricCIFailed      = "spa_ci_failed_total"
+	MetricCIWidth       = "spa_ci_width"
+	MetricAdaptiveRound = "spa_adaptive_rounds_total"
+	MetricTrials        = "spa_trials_total"
+	MetricEntriesReused = "spa_entries_reused_total"
+)
+
+// Counter is a monotonically increasing integer metric. Nil counters
+// (from a nil registry) absorb all operations.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// numHistBuckets is the number of finite histogram buckets.
+const numHistBuckets = 18
+
+// histBuckets are the shared exponential bucket upper bounds (factor 4
+// from 1µ to 16k, in the metric's own units — seconds for durations,
+// metric units for CI widths). A fixed layout keeps Observe lock-free.
+var histBuckets = [numHistBuckets]float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6,
+	1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
+	1, 4, 16, 64, 256, 1024, 4096, 16384,
+}
+
+// Histogram is a fixed-bucket distribution metric. Observe is lock-free.
+type Histogram struct {
+	counts  [numHistBuckets + 1]atomic.Int64 // last bucket is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(histBuckets) && v > histBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns the observation mean (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Registry is a concurrent get-or-create store of named metrics. A nil
+// *Registry hands out nil collectors, so a disabled pipeline pays only
+// pointer checks.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}

@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	// Deterministic clock: each call advances 1ms.
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tick := 0
+	tr.now = func() time.Time { tick++; return base.Add(time.Duration(tick) * time.Millisecond) }
+
+	s := tr.StartSpan("sim.run", Str("benchmark", "ferret"), U64("seed", 42))
+	s.Annotate(U64("cycles", 1000))
+	s.End(F64("runtime_s", 0.5))
+	tr.Event("campaign.reused", Str("entry", "x"))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec record
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "span" || rec.Name != "sim.run" || rec.DurUS != 1000 {
+		t.Errorf("span record wrong: %+v", rec)
+	}
+	for _, k := range []string{"benchmark", "seed", "cycles", "runtime_s"} {
+		if _, ok := rec.Attrs[k]; !ok {
+			t.Errorf("span missing attr %q: %v", k, rec.Attrs)
+		}
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "event" || rec.Name != "campaign.reused" || rec.DurUS != 0 {
+		t.Errorf("event record wrong: %+v", rec)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every call below must be a no-op rather than a panic.
+	var tr *Tracer
+	sp := tr.StartSpan("x", Str("a", "b"))
+	sp.Annotate(Int("i", 1))
+	sp.End()
+	tr.Event("x")
+	tr.Emit("x", time.Now(), time.Second)
+
+	var reg *Registry
+	reg.Counter("c").Inc()
+	reg.Counter("c").Add(3)
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h").Observe(2)
+	if v := reg.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value %d", v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Errorf("nil registry prom: %v", err)
+	}
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Errorf("nil registry json: %v", err)
+	}
+	reg.PublishExpvar("nil_reg")
+
+	var p *Progress
+	p.AddTotal(5)
+	p.Done(1)
+	p.Logf("x %d", 1)
+	p.Finish()
+
+	var o *Observer
+	o.Logf("x")
+	o.RunStarted()
+	o.RunDone("b", 1, 2, nil, time.Time{}, time.Millisecond)
+	o.CIBuilt("SPA", 0.5, nil)
+	if NewTracer(nil) != nil || NewProgress(nil, "x", 0) != nil {
+		t.Error("nil sinks must yield nil components")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 16, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				reg.Counter("runs").Inc()
+				reg.Gauge("last").Set(float64(i))
+				reg.Histogram("dur").Observe(float64(i%7) * 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("runs").Value(); got != workers*per {
+		t.Errorf("counter %d, want %d", got, workers*per)
+	}
+	if got := reg.Histogram("dur").Count(); got != workers*per {
+		t.Errorf("histogram count %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBucketsAndMean(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{0.5e-6, 2, 3, 1e9} { // first, mid, mid, +Inf buckets
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	wantSum := 0.5e-6 + 2 + 3 + 1e9
+	if h.Sum() != wantSum {
+		t.Errorf("sum %g want %g", h.Sum(), wantSum)
+	}
+	if h.Mean() != wantSum/4 {
+		t.Errorf("mean %g", h.Mean())
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("first bucket %d, want 1", got)
+	}
+	if got := h.counts[len(histBuckets)].Load(); got != 1 {
+		t.Errorf("+Inf bucket %d, want 1", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricRunsCompleted).Add(7)
+	reg.Gauge("spa_scale").Set(0.5)
+	reg.Histogram(MetricRunDuration).Observe(0.002)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"# TYPE spa_runs_completed_total counter",
+		"spa_runs_completed_total 7",
+		"# TYPE spa_scale gauge",
+		"spa_scale 0.5",
+		"# TYPE spa_run_duration_seconds histogram",
+		`spa_run_duration_seconds_bucket{le="+Inf"} 1`,
+		"spa_run_duration_seconds_count 1",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("prometheus output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Inc()
+	reg.Histogram("h").Observe(3)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64   `json:"count"`
+			Mean  float64 `json:"mean"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["a_total"] != 1 || snap.Histograms["h"].Count != 1 || snap.Histograms["h"].Mean != 3 {
+		t.Errorf("json snapshot wrong: %+v", snap)
+	}
+}
+
+func TestProgressRateAndETA(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "runs", time.Nanosecond)
+	base := time.Unix(1000, 0)
+	step := 0
+	p.now = func() time.Time { step++; return base.Add(time.Duration(step) * time.Second) }
+	p.started = base
+	p.AddTotal(10)
+	p.Done(5) // at t=1s: 5/10, 5/s, ETA 1s
+	out := buf.String()
+	for _, frag := range []string{"runs: 5/10 (50.0%)", "5.0/s", "ETA 1s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("progress line missing %q: %s", frag, out)
+		}
+	}
+	buf.Reset()
+	p.Done(5)
+	if !strings.Contains(buf.String(), "runs: 10/10 (100.0%)") {
+		t.Errorf("completion line wrong: %s", buf.String())
+	}
+	buf.Reset()
+	p.Finish()
+	if !strings.Contains(buf.String(), "finished 10 in") {
+		t.Errorf("finish line wrong: %s", buf.String())
+	}
+}
+
+func TestProgressThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "runs", time.Hour)
+	p.AddTotal(1000)
+	for i := 0; i < 100; i++ {
+		p.Done(1)
+	}
+	// Only the first Done (elapsed ≥ last=zero-time + interval) may print.
+	if n := strings.Count(buf.String(), "\n"); n > 1 {
+		t.Errorf("throttle failed: %d lines", n)
+	}
+	done, total := p.Counts()
+	if done != 100 || total != 1000 {
+		t.Errorf("counts %d/%d", done, total)
+	}
+}
+
+func TestObserverRunLifecycle(t *testing.T) {
+	var trace, prog bytes.Buffer
+	o := &Observer{
+		Tracer:   NewTracer(&trace),
+		Metrics:  NewRegistry(),
+		Progress: NewProgress(&prog, "runs", time.Nanosecond),
+	}
+	o.Progress.AddTotal(2)
+	o.RunStarted()
+	o.RunStarted()
+	o.RunDone("ferret", 1, 12345, nil, time.Time{}, 2*time.Millisecond)
+	o.RunDone("ferret", 2, 0, errors.New("boom"), time.Time{}, time.Millisecond)
+	if got := o.Metrics.Counter(MetricRunsStarted).Value(); got != 2 {
+		t.Errorf("started %d", got)
+	}
+	if got := o.Metrics.Counter(MetricRunsCompleted).Value(); got != 1 {
+		t.Errorf("completed %d", got)
+	}
+	if got := o.Metrics.Counter(MetricRunsFailed).Value(); got != 1 {
+		t.Errorf("failed %d", got)
+	}
+	if got := o.Metrics.Histogram(MetricRunDuration).Count(); got != 2 {
+		t.Errorf("duration observations %d", got)
+	}
+	if n := strings.Count(trace.String(), `"sim.run"`); n != 2 {
+		t.Errorf("trace has %d sim.run spans:\n%s", n, trace.String())
+	}
+	if !strings.Contains(trace.String(), `"error":"boom"`) {
+		t.Errorf("failed run span missing error attr:\n%s", trace.String())
+	}
+	o.CIBuilt("SPA", 0.25, nil)
+	o.CIBuilt("Bootstrap", 0, errors.New("degenerate"))
+	if o.Metrics.Counter(MetricCIBuilt).Value() != 1 || o.Metrics.Counter(MetricCIFailed).Value() != 1 {
+		t.Error("CI counters wrong")
+	}
+}
+
+func TestStartPprofServes(t *testing.T) {
+	addr, stop, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d", resp.StatusCode)
+	}
+	vars, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vars.Body.Close()
+	if vars.StatusCode != http.StatusOK {
+		t.Errorf("/debug/vars status %d", vars.StatusCode)
+	}
+}
+
+func TestFlagsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{
+		"-trace", tracePath, "-metrics", metricsPath, "-progress",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var prog bytes.Buffer
+	o, closeFn, err := f.Start("runs", &prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Progress.AddTotal(1)
+	o.RunStarted()
+	o.RunDone("swaptions", 9, 100, nil, time.Time{}, time.Millisecond)
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traceData), `"sim.run"`) {
+		t.Errorf("trace file missing span:\n%s", traceData)
+	}
+	metricsData, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metricsData), "spa_runs_completed_total 1") {
+		t.Errorf("metrics dump missing counter:\n%s", metricsData)
+	}
+	if !strings.Contains(prog.String(), "finished 1") {
+		t.Errorf("progress missing finish line: %s", prog.String())
+	}
+}
+
+func TestFlagsDisabled(t *testing.T) {
+	var f Flags
+	o, closeFn, err := f.Start("runs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Error("disabled flags must yield a nil observer")
+	}
+	if err := closeFn(); err != nil {
+		t.Errorf("no-op close: %v", err)
+	}
+}

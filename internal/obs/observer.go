@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"time"
+)
+
+// Observer bundles the three telemetry backends threaded through the
+// pipeline. Any field may be nil; a nil *Observer disables everything.
+// Layers accept an *Observer instead of three parameters so wiring a new
+// stage is one field.
+type Observer struct {
+	Tracer   *Tracer
+	Metrics  *Registry
+	Progress *Progress
+}
+
+// nop-safe accessors: a nil Observer yields nil components, which are
+// themselves nil-safe.
+
+// T returns the tracer (nil when disabled).
+func (o *Observer) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// M returns the metrics registry (nil when disabled).
+func (o *Observer) M() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// P returns the progress reporter (nil when disabled).
+func (o *Observer) P() *Progress {
+	if o == nil {
+		return nil
+	}
+	return o.Progress
+}
+
+// Logf forwards a milestone line to the progress reporter.
+func (o *Observer) Logf(format string, args ...any) {
+	o.P().Logf(format, args...)
+}
+
+// RunStarted records one simulation run entering flight.
+func (o *Observer) RunStarted() {
+	if o == nil {
+		return
+	}
+	o.M().Counter(MetricRunsStarted).Inc()
+}
+
+// RunDone records one completed simulation run: counters, the duration
+// histogram, a progress tick, and a "sim.run" span with the run's
+// identity (benchmark, seed, cycles) and wall time. start is when the run
+// began; pass the zero time to let the span back-date from elapsed.
+func (o *Observer) RunDone(benchmark string, seed, cycles uint64, err error, start time.Time, elapsed time.Duration) {
+	if o == nil {
+		return
+	}
+	if err != nil {
+		o.M().Counter(MetricRunsFailed).Inc()
+	} else {
+		o.M().Counter(MetricRunsCompleted).Inc()
+	}
+	o.M().Histogram(MetricRunDuration).Observe(elapsed.Seconds())
+	o.P().Done(1)
+	if t := o.T(); t != nil {
+		attrs := []Attr{Str("benchmark", benchmark), U64("seed", seed), U64("cycles", cycles)}
+		if err != nil {
+			attrs = append(attrs, Str("error", err.Error()))
+		}
+		if start.IsZero() {
+			start = time.Now().Add(-elapsed)
+		}
+		t.Emit("sim.run", start, elapsed, attrs...)
+	}
+}
+
+// CIBuilt records one confidence-interval construction (any method) with
+// its width; err marks a failed/abstained construction.
+func (o *Observer) CIBuilt(method string, width float64, err error) {
+	if o == nil {
+		return
+	}
+	if err != nil {
+		o.M().Counter(MetricCIFailed).Inc()
+		return
+	}
+	o.M().Counter(MetricCIBuilt).Inc()
+	o.M().Histogram(MetricCIWidth).Observe(width)
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves the net/http/pprof handlers (and /debug/vars) on addr
+// (e.g. "localhost:6060" or ":0" for an ephemeral port) in a background
+// goroutine. It returns the bound address and a stop function. The server
+// uses its own mux, so importing obs never pollutes http.DefaultServeMux.
+func StartPprof(addr string) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// ErrServerClosed is the normal shutdown path; anything else is a
+		// telemetry failure that must not take the campaign down.
+		_ = srv.Serve(ln)
+	}()
+	stop = func() {
+		_ = srv.Close()
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
+}

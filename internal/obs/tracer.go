@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event. Values must be
+// JSON-encodable; the helpers below cover the common cases.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// F64 builds a float attribute.
+func F64(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
+
+// U64 builds an unsigned attribute (seeds, cycle counts).
+func U64(k string, v uint64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// record is the JSONL wire form: one line per completed span or event.
+type record struct {
+	Kind  string         `json:"kind"`            // "span" or "event"
+	Name  string         `json:"name"`            // e.g. "sim.run", "spa.ci"
+	Start time.Time      `json:"start"`           // wall-clock start (RFC 3339)
+	DurUS int64          `json:"dur_us"`          // duration in microseconds (0 for events)
+	Attrs map[string]any `json:"attrs,omitempty"` // flattened annotations
+}
+
+// Tracer emits spans and events as JSON lines to a sink. A nil *Tracer is
+// a valid disabled tracer: StartSpan returns nil and every derived call is
+// a no-op, so instrumentation sites need no guards.
+type Tracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	now func() time.Time // test seam; time.Now when nil is impossible (set in NewTracer)
+}
+
+// NewTracer builds a tracer writing one JSON object per line to w.
+// A nil writer yields a nil (disabled) tracer.
+func NewTracer(w io.Writer) *Tracer {
+	if w == nil {
+		return nil
+	}
+	return &Tracer{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// Span is one timed operation. It is created by StartSpan and completed by
+// End; attributes may be attached at either point.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// StartSpan opens a span. The span is emitted when End is called.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: t.now(), attrs: attrs}
+}
+
+// Annotate attaches attributes to an open span.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End completes the span and writes its JSONL record, appending any final
+// attributes first.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+	s.t.emit("span", s.name, s.start, s.t.now().Sub(s.start), s.attrs)
+}
+
+// Event writes an instantaneous (zero-duration) record.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit("event", name, t.now(), 0, attrs)
+}
+
+// Emit writes a span record for an operation whose timing was measured by
+// the caller — the shape run hooks need, where start and duration are known
+// only at completion.
+func (t *Tracer) Emit(name string, start time.Time, dur time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit("span", name, start, dur, attrs)
+}
+
+func (t *Tracer) emit(kind, name string, start time.Time, dur time.Duration, attrs []Attr) {
+	rec := record{Kind: kind, Name: name, Start: start.UTC(), DurUS: dur.Microseconds()}
+	if len(attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Encoding errors (e.g. a closed sink) are deliberately swallowed:
+	// telemetry must never fail the pipeline it observes.
+	_ = t.enc.Encode(rec)
+}

@@ -14,7 +14,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -29,16 +31,51 @@ type Population struct {
 	Metrics   map[string][]float64 `json:"metrics"`
 }
 
+// RunHooks are optional per-execution callbacks for GenerateHooked, the
+// attachment points for the observability layer. Either field may be nil;
+// both may be called from many goroutines concurrently. Hooks only
+// observe — the simulation RNG is seeded before they fire, so telemetry
+// cannot perturb determinism.
+type RunHooks struct {
+	OnRunStart func(i int, seed uint64)
+	OnRunDone  func(i int, seed uint64, res *sim.Result, err error, elapsed time.Duration)
+}
+
+// ObserverHooks adapts an obs.Observer into RunHooks: run counters, the
+// duration histogram, a progress tick and a "sim.run" span per execution.
+// A nil observer yields zero hooks.
+func ObserverHooks(o *obs.Observer, benchmark string) RunHooks {
+	if o == nil {
+		return RunHooks{}
+	}
+	return RunHooks{
+		OnRunStart: func(i int, seed uint64) { o.RunStarted() },
+		OnRunDone: func(i int, seed uint64, res *sim.Result, err error, elapsed time.Duration) {
+			var cycles uint64
+			if res != nil {
+				cycles = res.Cycles
+			}
+			o.RunDone(benchmark, seed, cycles, err, time.Time{}, elapsed)
+		},
+	}
+}
+
 // Generate runs the benchmark `runs` times with seeds baseSeed+i on the
 // given configuration, in parallel (parallelism ≤ 0 selects GOMAXPROCS),
 // and collects every scalar metric. Results are ordered by seed offset.
 func Generate(benchmark string, cfg sim.Config, scale float64, runs int, baseSeed uint64, parallelism int) (*Population, error) {
+	return GenerateHooked(benchmark, cfg, scale, runs, baseSeed, parallelism, RunHooks{})
+}
+
+// GenerateHooked is Generate with per-execution observability callbacks.
+func GenerateHooked(benchmark string, cfg sim.Config, scale float64, runs int, baseSeed uint64, parallelism int, h RunHooks) (*Population, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("population: non-positive run count %d", runs)
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	observed := h.OnRunStart != nil || h.OnRunDone != nil
 	results := make([]*sim.Result, runs)
 	errs := make([]error, runs)
 	sem := make(chan struct{}, parallelism)
@@ -49,14 +86,30 @@ func Generate(benchmark string, cfg sim.Config, scale float64, runs int, baseSee
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = sim.Run(benchmark, cfg, scale, baseSeed+uint64(i))
+			seed := baseSeed + uint64(i)
+			if !observed {
+				results[i], errs[i] = sim.Run(benchmark, cfg, scale, seed)
+				return
+			}
+			if h.OnRunStart != nil {
+				h.OnRunStart(i, seed)
+			}
+			start := time.Now()
+			results[i], errs[i] = sim.Run(benchmark, cfg, scale, seed)
+			if h.OnRunDone != nil {
+				h.OnRunDone(i, seed, results[i], errs[i], time.Since(start))
+			}
 		}(i)
 	}
 	wg.Wait()
+	var failures []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("population: run %d of %s: %w", i, benchmark, err)
+			failures = append(failures, fmt.Errorf("population: run %d of %s: %w", i, benchmark, err))
 		}
+	}
+	if len(failures) > 0 {
+		return nil, errors.Join(failures...)
 	}
 	pop := &Population{
 		Benchmark: benchmark,
