@@ -7,6 +7,7 @@
 //
 //	campaign -init > my.json        # write a template manifest
 //	campaign -manifest my.json -out results/
+//	campaign -manifest my.json -out results/ -workers host1:9777,host2:9777
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/buildinfo"
+	"repro/internal/dist"
 	"repro/internal/manifest"
 	"repro/internal/obs"
 )
@@ -32,6 +34,7 @@ func run(args []string, w io.Writer) error {
 	path := fs.String("manifest", "", "manifest JSON file")
 	out := fs.String("out", "campaign-out", "output directory for populations and the report")
 	parallel := fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	workers := fs.String("workers", "", "comma-separated spaworker addresses (host:port,...) to distribute simulations across; results are byte-identical to a local run")
 	initTpl := fs.Bool("init", false, "print a template manifest and exit")
 	quiet := fs.Bool("quiet", false, "suppress all progress output (overrides -progress)")
 	version := fs.Bool("version", false, "print build information and exit")
@@ -76,7 +79,7 @@ func run(args []string, w io.Writer) error {
 	case o.Progress == nil:
 		o.Progress = obs.NewProgress(w, "runs", 0)
 	}
-	runner := &manifest.Runner{OutDir: *out, Parallelism: *parallel, Obs: o}
+	runner := &manifest.Runner{OutDir: *out, Parallelism: *parallel, Obs: o, Workers: dist.SplitAddrs(*workers)}
 	report, err := runner.Run(m)
 	if err != nil {
 		closeObs()

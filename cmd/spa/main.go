@@ -15,8 +15,11 @@
 //	spa minsamples -f 0.9 -c 0.9
 //
 // Measurements can come from a plain text file (-input, one value per
-// line), a simrun population (-json pop.json -metric runtime_s), or real
-// gem5 runs (-gem5 'm5out-*/stats.txt' -metric system.cpu0.ipc).
+// line), a simrun population (-json pop.json -metric runtime_s), real
+// gem5 runs (-gem5 'm5out-*/stats.txt' -metric system.cpu0.ipc), or
+// fresh simulations (-sim ferret -runs 100), optionally distributed
+// across spaworker processes (-workers host:port,...) with byte-identical
+// results.
 package main
 
 import (
@@ -32,7 +35,9 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/ci"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/gem5"
+	"repro/internal/manifest"
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/smc"
@@ -118,6 +123,7 @@ func usage() {
   minsamples  minimum executions required for (F, C)
 global flags (before the subcommand): -version, -trace FILE, -metrics FILE,
   -pprof ADDR, -progress — see README "Observability"
+data sources: -input FILE | -json POP | -gem5 GLOB | -sim BENCH [-workers host:port,...]
 run "spa <subcommand> -h" for flags`)
 }
 
@@ -127,17 +133,44 @@ type dataFlags struct {
 	json   string
 	gem5   string
 	metric string
+	// simulator-backed collection (-sim): measurements come from fresh
+	// seeded executions, optionally distributed across spaworkers.
+	sim     string
+	variant string
+	runs    int
+	scale   float64
+	simSeed uint64
+	workers string
 }
 
 func (d *dataFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&d.input, "input", "", "text file with one measurement per line (- for stdin)")
 	fs.StringVar(&d.json, "json", "", "population JSON produced by simrun")
 	fs.StringVar(&d.gem5, "gem5", "", "glob of gem5 stats.txt files, one run per file")
-	fs.StringVar(&d.metric, "metric", "runtime_s", "metric name when reading population JSON or gem5 stats")
+	fs.StringVar(&d.metric, "metric", "runtime_s", "metric name when reading population JSON or gem5 stats or simulating")
+	fs.StringVar(&d.sim, "sim", "", "simulate this benchmark to collect the measurements (see internal/workload)")
+	fs.StringVar(&d.variant, "variant", "default", "system variant with -sim: default, hardware, l2half or l2double")
+	fs.IntVar(&d.runs, "runs", 100, "executions to simulate with -sim")
+	fs.Float64Var(&d.scale, "scale", 0.5, "workload scale with -sim")
+	fs.Uint64Var(&d.simSeed, "simseed", 1, "base seed with -sim (run i uses simseed+i)")
+	fs.StringVar(&d.workers, "workers", "", "comma-separated spaworker addresses to distribute -sim runs across (byte-identical to local)")
 }
 
 func (d *dataFlags) load() ([]float64, error) {
 	switch {
+	case d.sim != "":
+		e := manifest.Entry{Benchmark: d.sim, Variant: d.variant}
+		cfg, err := e.Config()
+		if err != nil {
+			return nil, err
+		}
+		coord := &dist.Coordinator{Workers: dist.SplitAddrs(d.workers), Obs: telemetry}
+		pop, err := coord.GeneratePopulation(d.sim, cfg, d.scale, d.runs, d.simSeed,
+			population.ObserverHooks(telemetry, d.sim))
+		if err != nil {
+			return nil, err
+		}
+		return pop.Metric(d.metric)
 	case d.gem5 != "":
 		pop, err := gem5.Population(d.gem5)
 		if err != nil {
@@ -169,7 +202,7 @@ func (d *dataFlags) load() ([]float64, error) {
 		defer f.Close()
 		return readValues(f)
 	default:
-		return nil, errors.New("provide -input or -json")
+		return nil, errors.New("provide -input, -json, -gem5 or -sim")
 	}
 }
 

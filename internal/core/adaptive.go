@@ -42,6 +42,16 @@ var ErrWidthBudget = errors.New("core: sample budget exhausted before reaching t
 // On budget exhaustion the widest-effort analysis is returned together
 // with ErrWidthBudget, so callers can still use the interval.
 func AnalyzeToWidth(run RunFunc, p Params, w WidthOptions) (*Analysis, error) {
+	return AnalyzeToWidthWith(FuncCollector(run), p, w)
+}
+
+// AnalyzeToWidthWith is AnalyzeToWidth against any collection backend;
+// see AnalyzeWith. Refinement rounds extend the same consecutive seed
+// range whichever backend runs them, so the campaign stays replicable.
+func AnalyzeToWidthWith(c Collector, p Params, w WidthOptions) (*Analysis, error) {
+	if c == nil {
+		return nil, errNilCollector
+	}
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -66,13 +76,8 @@ func AnalyzeToWidth(run RunFunc, p Params, w WidthOptions) (*Analysis, error) {
 
 	samples := make([]float64, 0, minN)
 	next := uint64(0)
-	// The inner collect uses relative seeds, so shift what hooks observe
-	// back to campaign-absolute seeds.
-	hooks := w.Hooks.shifted(w.BaseSeed)
 	collect := func(n int) error {
-		fresh, err := CollectHooks(func(seed uint64) (float64, error) {
-			return run(w.BaseSeed + seed)
-		}, next, n, w.Batch, hooks)
+		fresh, err := c.Collect(w.BaseSeed+next, n, w.Batch, w.Hooks)
 		if err != nil {
 			return err
 		}

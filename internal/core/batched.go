@@ -28,11 +28,21 @@ type BatchedResult struct {
 // opts.Samples bounds the total executions (0 means 4096); exhausting it
 // returns the partial result with smc.ErrSampleBudget.
 func CheckBatched(run RunFunc, pred func(float64) bool, p Params, opts Options) (BatchedResult, error) {
+	if run == nil {
+		return BatchedResult{}, errors.New("core: nil RunFunc")
+	}
+	return CheckBatchedWith(FuncCollector(run), pred, p, opts)
+}
+
+// CheckBatchedWith is CheckBatched against any collection backend; see
+// AnalyzeWith. Outcomes are consumed in seed order whatever backend ran
+// the batch, so the verdict is backend-independent.
+func CheckBatchedWith(c Collector, pred func(float64) bool, p Params, opts Options) (BatchedResult, error) {
 	if err := p.validate(); err != nil {
 		return BatchedResult{}, err
 	}
-	if run == nil {
-		return BatchedResult{}, errors.New("core: nil RunFunc")
+	if c == nil {
+		return BatchedResult{}, errNilCollector
 	}
 	if pred == nil {
 		return BatchedResult{}, errors.New("core: nil predicate")
@@ -55,7 +65,7 @@ func CheckBatched(run RunFunc, pred func(float64) bool, p Params, opts Options) 
 		if launched+size > budget {
 			size = budget - launched
 		}
-		values, err := CollectHooks(run, opts.BaseSeed+uint64(launched), size, size, opts.Hooks)
+		values, err := c.Collect(opts.BaseSeed+uint64(launched), size, size, opts.Hooks)
 		if err != nil {
 			return BatchedResult{}, err
 		}

@@ -28,6 +28,12 @@ func Collect(run RunFunc, baseSeed uint64, n, batch int) ([]float64, error) {
 
 // CollectHooks is Collect with per-execution observability callbacks; see
 // Hooks. Zero hooks take the exact Collect fast path.
+//
+// Concurrency is a fixed pool of batch goroutines pulling seed offsets
+// from a channel — not one goroutine per sample — so a campaign of
+// thousands of runs with a small batch allocates batch stacks, not
+// thousands. Results land at their seed offset, preserving the ordering
+// guarantee regardless of which pool worker ran which seed.
 func CollectHooks(run RunFunc, baseSeed uint64, n, batch int, h Hooks) ([]float64, error) {
 	if run == nil {
 		return nil, errors.New("core: nil RunFunc")
@@ -40,30 +46,34 @@ func CollectHooks(run RunFunc, baseSeed uint64, n, batch int, h Hooks) ([]float6
 	}
 	out := make([]float64, n)
 	errs := make([]error, n)
-	sem := make(chan struct{}, batch)
 	observed := h.enabled()
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+	wg.Add(batch)
+	for w := 0; w < batch; w++ {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			seed := baseSeed + uint64(i)
-			if !observed {
+			for i := range idx {
+				seed := baseSeed + uint64(i)
+				if !observed {
+					out[i], errs[i] = run(seed)
+					continue
+				}
+				if h.OnRunStart != nil {
+					h.OnRunStart(seed)
+				}
+				start := time.Now()
 				out[i], errs[i] = run(seed)
-				return
+				if h.OnRunDone != nil {
+					h.OnRunDone(seed, out[i], errs[i], time.Since(start))
+				}
 			}
-			if h.OnRunStart != nil {
-				h.OnRunStart(seed)
-			}
-			start := time.Now()
-			out[i], errs[i] = run(seed)
-			if h.OnRunDone != nil {
-				h.OnRunDone(seed, out[i], errs[i], time.Since(start))
-			}
-		}(i)
+		}()
 	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	var joined []error
 	for i, err := range errs {
@@ -105,6 +115,17 @@ type Options struct {
 // parallel batches, and returns the confidence interval for the metric at
 // proportion F. This is the end-to-end flow of the paper's Fig. 3.
 func Analyze(run RunFunc, p Params, opts Options) (*Analysis, error) {
+	return AnalyzeWith(FuncCollector(run), p, opts)
+}
+
+// AnalyzeWith is Analyze against any collection backend — a local
+// RunFunc (FuncCollector) or a distributed coordinator. Because the
+// Collector contract fixes seed→sample ordering, the analysis is
+// identical whichever backend collected the samples.
+func AnalyzeWith(c Collector, p Params, opts Options) (*Analysis, error) {
+	if c == nil {
+		return nil, errNilCollector
+	}
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -120,7 +141,7 @@ func Analyze(run RunFunc, p Params, opts Options) (*Analysis, error) {
 		return nil, fmt.Errorf("%w: requested %d executions, (F=%g, C=%g) needs at least %d",
 			ErrInsufficientSamples, n, p.F, p.C, minN)
 	}
-	samples, err := CollectHooks(run, opts.BaseSeed, n, opts.Batch, opts.Hooks)
+	samples, err := c.Collect(opts.BaseSeed, n, opts.Batch, opts.Hooks)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,27 @@
+package core
+
+import "errors"
+
+// Collector abstracts where samples come from: a local RunFunc driven in
+// parallel batches (FuncCollector), or a remote backend like
+// internal/dist's coordinator, which shards the seed range across worker
+// processes. The contract is Collect's: samples for seeds
+// baseSeed+0 … baseSeed+n−1, ordered by seed offset, with at most batch
+// in flight where the backend honours it (remote backends may govern
+// parallelism themselves — the bound can shift wall-clock time but never
+// sample values). Hooks observe runs and must not affect results.
+type Collector interface {
+	Collect(baseSeed uint64, n, batch int, h Hooks) ([]float64, error)
+}
+
+// FuncCollector adapts a RunFunc into the Collector the analysis entry
+// points consume; Collect is exactly CollectHooks.
+type FuncCollector RunFunc
+
+// Collect implements Collector.
+func (f FuncCollector) Collect(baseSeed uint64, n, batch int, h Hooks) ([]float64, error) {
+	return CollectHooks(RunFunc(f), baseSeed, n, batch, h)
+}
+
+// errNilCollector reports an AnalyzeWith-style call without a backend.
+var errNilCollector = errors.New("core: nil Collector")

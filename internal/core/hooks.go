@@ -30,19 +30,3 @@ type Hooks struct {
 func (h Hooks) enabled() bool {
 	return h.OnRunStart != nil || h.OnRunDone != nil
 }
-
-// shifted returns hooks that report seeds offset by base, for loops that
-// collect with relative seeds (AnalyzeToWidth) but should surface the
-// campaign-absolute seed to observers.
-func (h Hooks) shifted(base uint64) Hooks {
-	out := h
-	if h.OnRunStart != nil {
-		out.OnRunStart = func(seed uint64) { h.OnRunStart(base + seed) }
-	}
-	if h.OnRunDone != nil {
-		out.OnRunDone = func(seed uint64, value float64, err error, elapsed time.Duration) {
-			h.OnRunDone(base+seed, value, err, elapsed)
-		}
-	}
-	return out
-}

@@ -1,0 +1,555 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/population"
+	"repro/internal/sim"
+)
+
+// Job names the deterministic work a campaign farms out: which workload
+// to run on which simulated system at which scale. Together with an
+// absolute seed a Job fully determines one run's result, which is why
+// chunks can be re-dispatched freely.
+type Job struct {
+	Benchmark string
+	Config    sim.Config
+	Scale     float64
+}
+
+// RunResult is one completed run: its seed offset within the campaign
+// and the simulator's scalar metrics. Elapsed is the executing worker's
+// wall time (local or remote).
+type RunResult struct {
+	Offset  int
+	Metrics map[string]float64
+	Cycles  uint64
+	Elapsed time.Duration
+}
+
+// Coordinator shards a seed range into contiguous chunks and executes
+// them across the configured workers, re-dispatching on failure and
+// degrading to in-process execution when no worker is reachable. The
+// zero value with no Workers is a purely local runner. A Coordinator is
+// safe for sequential reuse across jobs; fields must not be mutated
+// while Run is in flight.
+type Coordinator struct {
+	// Workers are worker addresses (host:port). Empty means run
+	// everything in-process.
+	Workers []string
+	// ChunkSize is the number of consecutive seeds per dispatch
+	// (0 = 16). Smaller chunks re-balance faster after a failure;
+	// larger ones amortize framing.
+	ChunkSize int
+	// ChunkTimeout bounds one chunk's total execution including
+	// streaming (0 = 5m). A chunk that exceeds it is re-dispatched.
+	ChunkTimeout time.Duration
+	// ReadTimeout bounds the silence between frames from a worker
+	// (0 = 10s). Workers heartbeat every second while executing, so a
+	// tripped read deadline means the worker is gone, not slow.
+	ReadTimeout time.Duration
+	// DialTimeout bounds connection establishment (0 = 3s).
+	DialTimeout time.Duration
+	// MaxWorkerFailures is the consecutive-failure budget before a
+	// worker is abandoned for the rest of the job (0 = 3).
+	MaxWorkerFailures int
+	// BackoffBase/BackoffMax bound the jittered exponential reconnect
+	// backoff (0 = 50ms / 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Parallelism bounds in-process execution when degrading to local
+	// runs (0 = GOMAXPROCS).
+	Parallelism int
+	// Obs receives dispatch/retry/re-dispatch/health telemetry.
+	Obs *obs.Observer
+}
+
+func (c *Coordinator) chunkSize() int {
+	if c.ChunkSize <= 0 {
+		return 16
+	}
+	return c.ChunkSize
+}
+
+func (c *Coordinator) chunkTimeout() time.Duration {
+	if c.ChunkTimeout <= 0 {
+		return 5 * time.Minute
+	}
+	return c.ChunkTimeout
+}
+
+func (c *Coordinator) readTimeout() time.Duration {
+	if c.ReadTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.ReadTimeout
+}
+
+func (c *Coordinator) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 3 * time.Second
+	}
+	return c.DialTimeout
+}
+
+func (c *Coordinator) maxWorkerFailures() int {
+	if c.MaxWorkerFailures <= 0 {
+		return 3
+	}
+	return c.MaxWorkerFailures
+}
+
+// chunk is one contiguous slice of the seed range. A chunk is owned by
+// exactly one place at any time — the queue, one worker goroutine, or
+// the committed state — so re-dispatch never duplicates commits.
+type chunk struct {
+	index, start, count int
+	attempts            int
+}
+
+// runState accumulates committed results. Chunks commit atomically and
+// exactly once; duplicate completions (a slow worker racing its own
+// re-dispatch) are discarded whole.
+type runState struct {
+	mu        sync.Mutex
+	results   []RunResult
+	chunkDone []bool
+	remaining int
+	err       error
+	done      chan struct{}
+	closed    bool
+}
+
+func newRunState(n, numChunks int) *runState {
+	return &runState{
+		results:   make([]RunResult, n),
+		chunkDone: make([]bool, numChunks),
+		remaining: numChunks,
+		done:      make(chan struct{}),
+	}
+}
+
+// commit installs a chunk's results; false means another dispatch beat
+// this one and the results were discarded.
+func (st *runState) commit(ch *chunk, runs []RunResult) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed || st.chunkDone[ch.index] {
+		return false
+	}
+	st.chunkDone[ch.index] = true
+	for _, r := range runs {
+		st.results[r.Offset] = r
+	}
+	st.remaining--
+	if st.remaining == 0 {
+		st.closed = true
+		close(st.done)
+	}
+	return true
+}
+
+// fail aborts the job with a terminal error (deterministic execution
+// failures re-dispatching cannot cure).
+func (st *runState) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.err = err
+	st.closed = true
+	close(st.done)
+}
+
+func (st *runState) finished() (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.closed, st.err
+}
+
+// Run executes n runs with seeds baseSeed+0 … baseSeed+n−1 across the
+// workers and returns the results ordered by seed offset — byte-for-byte
+// the samples a local run would produce, independent of worker count,
+// chunk size, or arrival order. Hooks (may be zero) observe runs as
+// their chunks commit.
+func (c *Coordinator) Run(job Job, baseSeed uint64, n int, h population.RunHooks) ([]RunResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: non-positive run count %d", n)
+	}
+	if job.Benchmark == "" {
+		return nil, errors.New("dist: job has no benchmark")
+	}
+	if err := job.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: job config: %w", err)
+	}
+
+	size := c.chunkSize()
+	numChunks := (n + size - 1) / size
+	queue := make(chan *chunk, numChunks)
+	for i := 0; i < numChunks; i++ {
+		start := i * size
+		count := size
+		if start+count > n {
+			count = n - start
+		}
+		queue <- &chunk{index: i, start: start, count: count}
+	}
+	st := newRunState(n, numChunks)
+
+	span := c.Obs.T().StartSpan("dist.job", obs.Str("benchmark", job.Benchmark),
+		obs.U64("base_seed", baseSeed), obs.Int("runs", n),
+		obs.Int("chunks", numChunks), obs.Int("workers", len(c.Workers)))
+
+	var wg sync.WaitGroup
+	for _, addr := range c.Workers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			c.workerLoop(addr, job, baseSeed, st, queue, h)
+		}(addr)
+	}
+	allDead := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(allDead)
+	}()
+
+	select {
+	case <-st.done:
+	case <-allDead:
+		// Every worker is gone (or none was configured): degrade to
+		// in-process execution of whatever is still queued.
+		if done, _ := st.finished(); !done {
+			if len(c.Workers) > 0 {
+				c.Obs.Logf("dist: no reachable workers, running remaining chunks in-process")
+				c.Obs.T().Event("dist.fallback_local", obs.Int("workers", len(c.Workers)))
+			}
+			c.runLocal(job, baseSeed, st, queue, h)
+		}
+	}
+	<-allDead // worker goroutines all observe st.done before returning
+
+	if _, err := st.finished(); err != nil {
+		span.End(obs.Str("error", err.Error()))
+		return nil, err
+	}
+	span.End(obs.Int("completed", n))
+	return st.results, nil
+}
+
+// workerLoop owns one worker address for the duration of a job: it pulls
+// chunks, dispatches them, and applies the failure policy (reconnect
+// with jittered backoff, re-dispatch on error, abandon the worker after
+// too many consecutive failures).
+func (c *Coordinator) workerLoop(addr string, job Job, baseSeed uint64, st *runState, queue chan *chunk, h population.RunHooks) {
+	hsh := fnv.New64a()
+	hsh.Write([]byte(addr))
+	bo := newBackoff(c.BackoffBase, c.BackoffMax, hsh.Sum64())
+	var cn *conn
+	defer func() {
+		if cn != nil {
+			cn.close()
+		}
+	}()
+	failures := 0
+	requeue := func(ch *chunk) {
+		ch.attempts++
+		c.Obs.M().Counter(obs.MetricDistRedispatches).Inc()
+		queue <- ch // buffered to the chunk count, never blocks
+	}
+	abandon := func(ch *chunk, why error) {
+		if ch != nil {
+			requeue(ch)
+		}
+		c.Obs.M().Counter(obs.MetricDistWorkersDead).Inc()
+		c.Obs.T().Event("dist.worker_dead", obs.Str("worker", addr), obs.Str("error", why.Error()))
+		c.Obs.Logf("dist: abandoning worker %s: %v", addr, why)
+	}
+	for {
+		var ch *chunk
+		select {
+		case <-st.done:
+			return
+		case ch = <-queue:
+		}
+		// Ensure a healthy connection, backing off between attempts.
+		for cn == nil {
+			var err error
+			cn, err = c.dial(addr)
+			if err == nil {
+				bo.reset()
+				break
+			}
+			c.Obs.M().Counter(obs.MetricDistRetries).Inc()
+			failures++
+			if failures >= c.maxWorkerFailures() {
+				abandon(ch, err)
+				return
+			}
+			select {
+			case <-st.done:
+				requeue(ch)
+				return
+			case <-time.After(bo.next()):
+			}
+		}
+		err := c.dispatch(cn, job, baseSeed, ch, st, h)
+		if err == nil {
+			failures = 0
+			continue
+		}
+		if errors.Is(err, errJobDone) {
+			return
+		}
+		var execErr *chunkExecError
+		if errors.As(err, &execErr) {
+			// Deterministic failure: the same seed fails everywhere, so
+			// re-dispatching cannot help. Abort the whole job, matching
+			// local collection semantics.
+			st.fail(fmt.Errorf("dist: worker %s: chunk [%d,%d): %w", addr, ch.start, ch.start+ch.count, execErr))
+			return
+		}
+		// Connection-level failure (death, timeout, malformed stream):
+		// the chunk goes back to the pool and the connection is torn
+		// down; another worker — or this one after reconnecting — picks
+		// it up.
+		cn.close()
+		cn = nil
+		failures++
+		requeue(ch)
+		if failures >= c.maxWorkerFailures() {
+			abandon(nil, err)
+			return
+		}
+		select {
+		case <-st.done:
+			return
+		case <-time.After(bo.next()):
+		}
+	}
+}
+
+// chunkExecError marks a worker-reported execution failure, as opposed
+// to a transport failure.
+type chunkExecError struct{ msg string }
+
+func (e *chunkExecError) Error() string { return e.msg }
+
+// errJobDone aborts a dispatch whose job finished (or failed) elsewhere.
+var errJobDone = errors.New("dist: job finished elsewhere")
+
+func (c *Coordinator) dial(addr string) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, c.dialTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	cn := newConn(nc)
+	if err := cn.handshake(c.dialTimeout()); err != nil {
+		cn.close()
+		return nil, err
+	}
+	return cn, nil
+}
+
+// dispatch sends one chunk and consumes its result stream. Errors are
+// transport-level unless wrapped in chunkExecError.
+func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st *runState, h population.RunHooks) error {
+	span := c.Obs.T().StartSpan("dist.chunk", obs.Str("worker", cn.addr),
+		obs.Int("start", ch.start), obs.Int("count", ch.count), obs.Int("attempt", ch.attempts))
+	c.Obs.M().Counter(obs.MetricDistChunksDispatched).Inc()
+	id := uint64(ch.index) + 1
+	cfg := job.Config
+	err := cn.send(frame{
+		Type: frameRunChunk, ID: id,
+		Benchmark: job.Benchmark, Config: &cfg, Scale: job.Scale,
+		BaseSeed: baseSeed, Start: ch.start, Count: ch.count,
+	})
+	if err != nil {
+		span.End(obs.Str("error", err.Error()))
+		return err
+	}
+	deadline := time.Now().Add(c.chunkTimeout())
+	runs := make([]RunResult, 0, ch.count)
+	seen := make(map[int]bool, ch.count)
+	for {
+		// A slow dispatch racing its own re-dispatch stops as soon as the
+		// job finishes elsewhere, instead of streaming to completion.
+		select {
+		case <-st.done:
+			span.End(obs.Str("error", errJobDone.Error()))
+			return errJobDone
+		default:
+		}
+		readDL := time.Now().Add(c.readTimeout())
+		if readDL.After(deadline) {
+			readDL = deadline
+		}
+		f, err := cn.recv(readDL)
+		if err != nil {
+			span.End(obs.Str("error", err.Error()))
+			return fmt.Errorf("dist: chunk stream from %s: %w", cn.addr, err)
+		}
+		if f.ID != id {
+			continue // stale frame from an abandoned exchange
+		}
+		switch f.Type {
+		case frameHeartbeat:
+			continue
+		case frameResult:
+			off := f.Offset
+			if off < ch.start || off >= ch.start+ch.count || seen[off] {
+				span.End(obs.Str("error", "bad offset"))
+				return fmt.Errorf("dist: worker %s sent offset %d outside chunk [%d,%d)", cn.addr, off, ch.start, ch.start+ch.count)
+			}
+			seen[off] = true
+			runs = append(runs, RunResult{Offset: off, Metrics: f.Metrics,
+				Cycles: f.Cycles, Elapsed: time.Duration(f.ElapsedUS) * time.Microsecond})
+		case frameChunkDone:
+			if len(runs) != ch.count {
+				span.End(obs.Str("error", "short chunk"))
+				return fmt.Errorf("dist: worker %s finished chunk with %d/%d results", cn.addr, len(runs), ch.count)
+			}
+			c.Obs.M().Counter(obs.MetricDistChunksCompleted).Inc()
+			if st.commit(ch, runs) {
+				fireHooks(job, baseSeed, runs, h)
+			}
+			span.End(obs.Int("results", len(runs)))
+			return nil
+		case frameError:
+			span.End(obs.Str("error", f.Error))
+			return &chunkExecError{msg: f.Error}
+		default:
+			span.End(obs.Str("error", "unexpected frame "+f.Type))
+			return fmt.Errorf("dist: unexpected %s frame from %s", f.Type, cn.addr)
+		}
+	}
+}
+
+// runLocal executes every still-queued chunk in-process — the
+// degradation path, and the whole path when no workers are configured.
+// It uses the same chunk/commit machinery so determinism is shared.
+func (c *Coordinator) runLocal(job Job, baseSeed uint64, st *runState, queue chan *chunk, h population.RunHooks) {
+	par := c.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for {
+		var ch *chunk
+		select {
+		case ch = <-queue:
+		default:
+			wg.Wait()
+			return
+		}
+		if done, _ := st.finished(); done {
+			wg.Wait()
+			return
+		}
+		c.Obs.M().Counter(obs.MetricDistLocalChunks).Inc()
+		runs := make([]RunResult, ch.count)
+		var cwg sync.WaitGroup
+		failed := false
+		var mu sync.Mutex
+		for i := 0; i < ch.count; i++ {
+			cwg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer cwg.Done()
+				defer func() { <-sem }()
+				off := ch.start + i
+				seed := baseSeed + uint64(off)
+				if h.OnRunStart != nil {
+					h.OnRunStart(off, seed)
+				}
+				start := time.Now()
+				res, err := sim.Run(job.Benchmark, job.Config, job.Scale, seed)
+				elapsed := time.Since(start)
+				if h.OnRunDone != nil {
+					h.OnRunDone(off, seed, res, err, elapsed)
+				}
+				if err != nil {
+					mu.Lock()
+					failed = true
+					mu.Unlock()
+					st.fail(fmt.Errorf("dist: local run with seed %d: %w", seed, err))
+					return
+				}
+				runs[i] = RunResult{Offset: off, Metrics: res.Metrics, Cycles: res.Cycles, Elapsed: elapsed}
+			}(i)
+		}
+		wg.Add(1)
+		go func(ch *chunk) {
+			defer wg.Done()
+			cwg.Wait()
+			mu.Lock()
+			bad := failed
+			mu.Unlock()
+			if !bad {
+				st.commit(ch, runs)
+			}
+		}(ch)
+	}
+}
+
+// fireHooks reports a committed remote chunk's runs to the hooks in
+// offset order. Hooks observe only — values and ordering of the returned
+// samples never depend on them.
+func fireHooks(job Job, baseSeed uint64, runs []RunResult, h population.RunHooks) {
+	if h.OnRunStart == nil && h.OnRunDone == nil {
+		return
+	}
+	for _, r := range runs {
+		seed := baseSeed + uint64(r.Offset)
+		if h.OnRunStart != nil {
+			h.OnRunStart(r.Offset, seed)
+		}
+		if h.OnRunDone != nil {
+			res := &sim.Result{Benchmark: job.Benchmark, Cycles: r.Cycles, Metrics: r.Metrics}
+			h.OnRunDone(r.Offset, seed, res, nil, r.Elapsed)
+		}
+	}
+}
+
+// SplitAddrs parses a comma-separated worker address list (the CLIs'
+// -workers flag), dropping empty entries so trailing commas are
+// harmless. nil means "no workers" — a purely local coordinator.
+func SplitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Ping checks one worker's liveness with a hello/ping round trip.
+func (c *Coordinator) Ping(addr string) error {
+	cn, err := c.dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cn.close()
+	if err := cn.send(frame{Type: framePing}); err != nil {
+		return err
+	}
+	f, err := cn.recv(time.Now().Add(c.readTimeout()))
+	if err != nil {
+		return err
+	}
+	if f.Type != framePong {
+		return fmt.Errorf("dist: worker %s answered ping with %s", addr, f.Type)
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+package dist
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/population"
+	"repro/internal/sim"
+)
+
+// startWorker boots a real worker on a loopback port and tears it down
+// with the test.
+func startWorker(t *testing.T) *Worker {
+	t.Helper()
+	w := &Worker{Parallelism: 2, HeartbeatEvery: 50 * time.Millisecond}
+	if err := w.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Serve() }()
+	t.Cleanup(func() {
+		w.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not stop")
+		}
+	})
+	return w
+}
+
+// fastCoord returns a coordinator tuned for test-speed failure handling.
+func fastCoord(workers ...string) *Coordinator {
+	return &Coordinator{
+		Workers:      workers,
+		ChunkSize:    3,
+		ChunkTimeout: 10 * time.Second,
+		ReadTimeout:  2 * time.Second,
+		DialTimeout:  time.Second,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   10 * time.Millisecond,
+	}
+}
+
+const (
+	testBench = "swaptions"
+	testScale = 0.05
+	testSeed  = uint64(42)
+)
+
+func testJob() Job {
+	return Job{Benchmark: testBench, Config: sim.DefaultConfig(), Scale: testScale}
+}
+
+// localPop is the reference every distributed run must match.
+func localPop(t *testing.T, runs int) *population.Population {
+	t.Helper()
+	p, err := population.Generate(testBench, sim.DefaultConfig(), testScale, runs, testSeed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// mustJSON pins byte-identity, the subsystem's core guarantee.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func checkPopEqual(t *testing.T, got, want *population.Population) {
+	t.Helper()
+	g, w := mustJSON(t, got), mustJSON(t, want)
+	if string(g) != string(w) {
+		t.Errorf("distributed population differs from local:\n got %s\nwant %s", g, w)
+	}
+}
+
+func TestNoWorkersRunsLocally(t *testing.T) {
+	c := fastCoord() // zero workers: a purely local runner
+	results, err := c.Run(testJob(), testSeed, 8, population.RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8", len(results))
+	}
+	for i, r := range results {
+		if r.Offset != i {
+			t.Fatalf("result %d has offset %d; want seed order", i, r.Offset)
+		}
+		res, err := sim.Run(testBench, sim.DefaultConfig(), testScale, testSeed+uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Metrics[sim.MetricRuntime] != res.Metrics[sim.MetricRuntime] {
+			t.Errorf("offset %d: runtime %g != local %g", i, r.Metrics[sim.MetricRuntime], res.Metrics[sim.MetricRuntime])
+		}
+	}
+}
+
+func TestWorkerCountsByteIdentical(t *testing.T) {
+	const runs = 12
+	want := localPop(t, runs)
+	for _, nw := range []int{1, 2, 4} {
+		addrs := make([]string, nw)
+		for i := range addrs {
+			addrs[i] = startWorker(t).Addr()
+		}
+		c := fastCoord(addrs...)
+		got, err := c.GeneratePopulation(testBench, sim.DefaultConfig(), testScale, runs, testSeed, population.RunHooks{})
+		if err != nil {
+			t.Fatalf("%d workers: %v", nw, err)
+		}
+		checkPopEqual(t, got, want)
+	}
+}
+
+func TestRunRejectsBadJobs(t *testing.T) {
+	c := fastCoord()
+	if _, err := c.Run(testJob(), testSeed, 0, population.RunHooks{}); err == nil {
+		t.Error("zero runs should error")
+	}
+	if _, err := c.Run(Job{Config: sim.DefaultConfig()}, testSeed, 4, population.RunHooks{}); err == nil {
+		t.Error("missing benchmark should error")
+	}
+	bad := testJob()
+	bad.Config.Cores = -1
+	if _, err := c.Run(bad, testSeed, 4, population.RunHooks{}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestExecErrorAbortsJob(t *testing.T) {
+	w := startWorker(t)
+	for name, c := range map[string]*Coordinator{
+		"remote": fastCoord(w.Addr()),
+		"local":  fastCoord(),
+	} {
+		job := testJob()
+		job.Benchmark = "no-such-benchmark"
+		_, err := c.Run(job, testSeed, 4, population.RunHooks{})
+		if err == nil {
+			t.Fatalf("%s: unknown benchmark should abort the job", name)
+		}
+		if !strings.Contains(err.Error(), "no-such-benchmark") {
+			t.Errorf("%s: error should name the benchmark: %v", name, err)
+		}
+	}
+}
+
+func TestUnreachableWorkerFallsBackLocal(t *testing.T) {
+	// A bound-then-closed listener yields a port that refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	reg := obs.NewRegistry()
+	c := fastCoord(addr)
+	c.MaxWorkerFailures = 2
+	c.Obs = &obs.Observer{Metrics: reg}
+	got, err := c.GeneratePopulation(testBench, sim.DefaultConfig(), testScale, 8, testSeed, population.RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPopEqual(t, got, localPop(t, 8))
+	if v := reg.Counter(obs.MetricDistLocalChunks).Value(); v == 0 {
+		t.Error("local fallback counter never incremented")
+	}
+	if v := reg.Counter(obs.MetricDistWorkersDead).Value(); v == 0 {
+		t.Error("dead-worker counter never incremented")
+	}
+}
+
+func TestPing(t *testing.T) {
+	w := startWorker(t)
+	c := fastCoord()
+	if err := c.Ping(w.Addr()); err != nil {
+		t.Errorf("ping healthy worker: %v", err)
+	}
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	dead := ln.Addr().String()
+	ln.Close()
+	if err := c.Ping(dead); err == nil {
+		t.Error("ping dead address should error")
+	}
+}
+
+// fakeWorker serves scripted protocol conversations for failure-mode
+// tests. Each accepted connection is handed to handle; when handle
+// returns, the connection closes.
+type fakeWorker struct {
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+func startFakeWorker(t *testing.T, handle func(c *conn)) *fakeWorker {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeWorker{ln: ln}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				c := newConn(nc)
+				defer c.close()
+				handle(c)
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		f.wg.Wait()
+	})
+	return f
+}
+
+func (f *fakeWorker) addr() string { return f.ln.Addr().String() }
+
+// answerHello consumes the hello frame and accepts it.
+func answerHello(t *testing.T, c *conn) bool {
+	f, err := c.recv(time.Now().Add(5 * time.Second))
+	if err != nil || f.Type != frameHello {
+		return false
+	}
+	return c.send(frame{Type: frameHelloOK, Version: ProtocolVersion, Parallelism: 1}) == nil
+}
+
+func TestOutOfOrderResultsCommitInSeedOrder(t *testing.T) {
+	// A worker that streams results in reverse offset order: legal under
+	// the protocol, and must not perturb the returned sample order.
+	fake := startFakeWorker(t, func(c *conn) {
+		if !answerHello(t, c) {
+			return
+		}
+		for {
+			req, err := c.recv(time.Now().Add(5 * time.Second))
+			if err != nil || req.Type != frameRunChunk {
+				return
+			}
+			for i := req.Count - 1; i >= 0; i-- {
+				off := req.Start + i
+				res, err := sim.Run(req.Benchmark, *req.Config, req.Scale, req.BaseSeed+uint64(off))
+				if err != nil {
+					c.send(frame{Type: frameError, ID: req.ID, Error: err.Error()})
+					return
+				}
+				if c.send(frame{Type: frameResult, ID: req.ID, Offset: off,
+					Metrics: res.Metrics, Cycles: res.Cycles}) != nil {
+					return
+				}
+			}
+			if c.send(frame{Type: frameChunkDone, ID: req.ID, Count: req.Count}) != nil {
+				return
+			}
+		}
+	})
+
+	c := fastCoord(fake.addr())
+	got, err := c.GeneratePopulation(testBench, sim.DefaultConfig(), testScale, 10, testSeed, population.RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPopEqual(t, got, localPop(t, 10))
+}
+
+func TestWorkerDeathMidChunkRedispatches(t *testing.T) {
+	// The dying worker streams two bogus results per chunk and drops the
+	// connection without chunk_done, every time. Its partial results must
+	// be discarded (never committed), the chunks re-dispatched, and the
+	// healthy worker must finish the job with local-identical samples.
+	dying := startFakeWorker(t, func(c *conn) {
+		if !answerHello(t, c) {
+			return
+		}
+		req, err := c.recv(time.Now().Add(5 * time.Second))
+		if err != nil || req.Type != frameRunChunk {
+			return
+		}
+		for i := 0; i < 2 && i < req.Count; i++ {
+			c.send(frame{Type: frameResult, ID: req.ID, Offset: req.Start + i,
+				Metrics: map[string]float64{sim.MetricRuntime: -12345}}) // poison: must never commit
+		}
+		// close without chunk_done: mid-chunk death
+	})
+	healthy := startWorker(t)
+
+	reg := obs.NewRegistry()
+	c := fastCoord(dying.addr(), healthy.Addr())
+	c.MaxWorkerFailures = 2
+	c.Obs = &obs.Observer{Metrics: reg}
+	got, err := c.GeneratePopulation(testBench, sim.DefaultConfig(), testScale, 12, testSeed, population.RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPopEqual(t, got, localPop(t, 12))
+	for _, s := range got.Metrics[sim.MetricRuntime] {
+		if s == -12345 {
+			t.Fatal("poison sample from the dying worker was committed")
+		}
+	}
+	if v := reg.Counter(obs.MetricDistRedispatches).Value(); v == 0 {
+		t.Error("mid-chunk death never triggered a re-dispatch")
+	}
+	if v := reg.Counter(obs.MetricDistWorkersDead).Value(); v == 0 {
+		t.Error("repeatedly dying worker was never declared dead")
+	}
+}
+
+func TestSlowWorkerDuplicateCommitDiscarded(t *testing.T) {
+	// A worker that answers hello and then goes silent: the read deadline
+	// trips, the chunk re-dispatches to the healthy worker, and the job
+	// still completes with exactly one commit per chunk.
+	silent := startFakeWorker(t, func(c *conn) {
+		if !answerHello(t, c) {
+			return
+		}
+		// Accept the chunk but never respond; the next recv blocks until
+		// the coordinator gives up on us and closes the connection.
+		if req, err := c.recv(time.Now().Add(5 * time.Second)); err != nil || req.Type != frameRunChunk {
+			return
+		}
+		c.recv(time.Now().Add(30 * time.Second))
+	})
+	healthy := startWorker(t)
+
+	c := fastCoord(silent.addr(), healthy.Addr())
+	c.ReadTimeout = 300 * time.Millisecond
+	c.MaxWorkerFailures = 1
+	got, err := c.GeneratePopulation(testBench, sim.DefaultConfig(), testScale, 9, testSeed, population.RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPopEqual(t, got, localPop(t, 9))
+}
+
+func TestHooksFireOncePerRun(t *testing.T) {
+	w := startWorker(t)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	h := population.RunHooks{
+		OnRunDone: func(i int, seed uint64, res *sim.Result, err error, elapsed time.Duration) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			if seed != testSeed+uint64(i) {
+				t.Errorf("hook for run %d saw seed %d", i, seed)
+			}
+			if err != nil || res == nil || res.Benchmark != testBench {
+				t.Errorf("hook for run %d: res=%v err=%v", i, res, err)
+			}
+		},
+	}
+	c := fastCoord(w.Addr())
+	if _, err := c.Run(testJob(), testSeed, 7, h); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 7; i++ {
+		if seen[i] != 1 {
+			t.Errorf("run %d hook fired %d times, want exactly 1", i, seen[i])
+		}
+	}
+}
+
+func TestDistCollectMatchesLocalSamples(t *testing.T) {
+	w := startWorker(t)
+	c := fastCoord(w.Addr())
+	got, err := c.DistCollect(testJob(), sim.MetricRuntime, testSeed, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localPop(t, 10).Metrics[sim.MetricRuntime]
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("sample %d: %g != %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCollectorRejectsMissingMetric(t *testing.T) {
+	w := startWorker(t)
+	c := fastCoord(w.Addr())
+	_, err := c.DistCollect(testJob(), "no-such-metric", testSeed, 4)
+	if err == nil || !strings.Contains(err.Error(), "no-such-metric") {
+		t.Errorf("missing metric should error by name, got %v", err)
+	}
+}
+
+func TestAnalyzeWithDistCollector(t *testing.T) {
+	w := startWorker(t)
+	c := fastCoord(w.Addr())
+	p := core.Params{F: 0.5, C: 0.9}
+	opts := core.Options{Samples: 40, BaseSeed: testSeed}
+
+	distA, err := core.AnalyzeWith(c.Collector(testJob(), sim.MetricRuntime), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed uint64) (float64, error) {
+		res, err := sim.Run(testBench, sim.DefaultConfig(), testScale, seed)
+		if err != nil {
+			return 0, err
+		}
+		return res.Metrics[sim.MetricRuntime], nil
+	}
+	localA, err := core.Analyze(run, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mustJSON(t, distA.Samples)) != string(mustJSON(t, localA.Samples)) {
+		t.Error("distributed analysis samples differ from local")
+	}
+	if distA.Interval != localA.Interval {
+		t.Errorf("intervals differ: %+v vs %+v", distA.Interval, localA.Interval)
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	if got := SplitAddrs(""); got != nil {
+		t.Errorf("empty string should yield nil, got %v", got)
+	}
+	got := SplitAddrs("a:1, b:2,,c:3,")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("addr %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}

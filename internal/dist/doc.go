@@ -1,0 +1,27 @@
+// Package dist distributes SPA campaigns across worker processes. SPA
+// sample collection is embarrassingly parallel over seeds (Sec. 4.3 of
+// the paper runs batches of independent seeded executions), so the
+// subsystem shards a campaign's seed range into contiguous chunks and
+// farms them out to workers over TCP, exactly the shape of distributed
+// SMC engines (Bulychev et al., "Distributed Parametric and Statistical
+// Model Checking").
+//
+// The replicability contract carries over unchanged: every run is
+// identified by its absolute seed offset, results are committed by
+// offset, and the coordinator returns samples ordered by seed offset —
+// so a distributed campaign is byte-identical to a local one for any
+// worker count, chunk size, or arrival order.
+//
+// Topology: a Coordinator (the campaign process) connects out to one or
+// more Worker servers (cmd/spaworker). The wire protocol is
+// newline-delimited JSON frames over a plain TCP connection — stdlib
+// only, one connection per worker, chunks dispatched pull-style so fast
+// workers naturally take more of the seed range.
+//
+// Failure layer: per-chunk deadlines, heartbeats during long chunks,
+// bounded exponential backoff with jitter on reconnects, automatic
+// re-dispatch of chunks from dead or slow workers to healthy ones, and
+// graceful degradation to in-process execution when no worker is
+// reachable (a coordinator with no workers at all is simply a local
+// runner).
+package dist

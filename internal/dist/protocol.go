@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ProtocolVersion guards against coordinator/worker skew; a mismatch is
+// rejected at hello time rather than mid-campaign.
+const ProtocolVersion = 1
+
+// Frame types. The protocol is newline-delimited JSON: every message is
+// one frame object on one line, in both directions.
+const (
+	// coordinator → worker
+	frameHello    = "hello"     // handshake: version check
+	frameRunChunk = "run_chunk" // execute a contiguous seed chunk
+	framePing     = "ping"      // liveness probe on an idle connection
+
+	// worker → coordinator
+	frameHelloOK   = "hello_ok"  // handshake accepted
+	frameResult    = "result"    // one completed run (any order within a chunk)
+	frameHeartbeat = "heartbeat" // liveness while a chunk is executing
+	frameChunkDone = "chunk_done"
+	frameError     = "error" // chunk failed worker-side
+	framePong      = "pong"
+)
+
+// frame is the single wire message shape; Type selects which fields are
+// meaningful. Keeping one struct makes decoding trivial and the protocol
+// self-describing in captures.
+type frame struct {
+	Type    string `json:"type"`
+	Version int    `json:"version,omitempty"`
+	// Chunk identity and job description (run_chunk; echoed on replies).
+	ID        uint64      `json:"id,omitempty"`
+	Benchmark string      `json:"benchmark,omitempty"`
+	Config    *sim.Config `json:"config,omitempty"`
+	Scale     float64     `json:"scale,omitempty"`
+	BaseSeed  uint64      `json:"base_seed,omitempty"`
+	Start     int         `json:"start,omitempty"`
+	Count     int         `json:"count,omitempty"`
+	// Per-run result payload (result frames).
+	Offset    int                `json:"offset,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Cycles    uint64             `json:"cycles,omitempty"`
+	ElapsedUS int64              `json:"elapsed_us,omitempty"`
+	// Worker capability (hello_ok) and failure detail (error frames).
+	Parallelism int    `json:"parallelism,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// conn wraps a TCP connection with buffered JSONL framing and a write
+// lock, so result streaming and heartbeats can interleave safely.
+type conn struct {
+	net  net.Conn
+	r    *bufio.Reader
+	dec  *json.Decoder
+	wmu  sync.Mutex
+	w    *bufio.Writer
+	enc  *json.Encoder
+	addr string
+}
+
+func newConn(c net.Conn) *conn {
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	return &conn{
+		net: c, r: r, dec: json.NewDecoder(r),
+		w: w, enc: json.NewEncoder(w),
+		addr: c.RemoteAddr().String(),
+	}
+}
+
+// send encodes one frame and flushes it.
+func (c *conn) send(f frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.enc.Encode(f); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// recv decodes the next frame, honouring the deadline (zero means no
+// deadline). Read deadlines are the liveness mechanism: a worker that
+// stops streaming results or heartbeats trips the deadline and is
+// treated as dead.
+func (c *conn) recv(deadline time.Time) (frame, error) {
+	if err := c.net.SetReadDeadline(deadline); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}
+
+func (c *conn) close() error { return c.net.Close() }
+
+// handshake runs the coordinator side of the hello exchange.
+func (c *conn) handshake(timeout time.Duration) error {
+	if err := c.send(frame{Type: frameHello, Version: ProtocolVersion}); err != nil {
+		return fmt.Errorf("dist: hello to %s: %w", c.addr, err)
+	}
+	f, err := c.recv(time.Now().Add(timeout))
+	if err != nil {
+		return fmt.Errorf("dist: hello reply from %s: %w", c.addr, err)
+	}
+	if f.Type == frameError {
+		return fmt.Errorf("dist: worker %s rejected hello: %s", c.addr, f.Error)
+	}
+	if f.Type != frameHelloOK || f.Version != ProtocolVersion {
+		return fmt.Errorf("dist: worker %s spoke %s v%d, want %s v%d",
+			c.addr, f.Type, f.Version, frameHelloOK, ProtocolVersion)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// pipePair builds a connected conn pair over an in-memory duplex pipe.
+func pipePair() (*conn, *conn) {
+	a, b := net.Pipe()
+	return newConn(a), newConn(b)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.close()
+	defer b.close()
+	cfg := sim.DefaultConfig()
+	want := frame{
+		Type: frameRunChunk, ID: 9, Benchmark: "ferret", Config: &cfg,
+		Scale: 0.5, BaseSeed: 1000, Start: 32, Count: 16,
+	}
+	go func() {
+		if err := a.send(want); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := b.recv(time.Now().Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.ID != want.ID || got.Benchmark != want.Benchmark ||
+		got.Scale != want.Scale || got.BaseSeed != want.BaseSeed ||
+		got.Start != want.Start || got.Count != want.Count {
+		t.Errorf("round trip mangled frame: %+v", got)
+	}
+	if got.Config == nil || got.Config.Cores != cfg.Cores || got.Config.L2Size != cfg.L2Size {
+		t.Errorf("config did not survive: %+v", got.Config)
+	}
+}
+
+func TestResultFrameZeroOffset(t *testing.T) {
+	// Offset 0 is a legitimate seed offset; it must round-trip even
+	// though the field is omitempty on the wire.
+	a, b := pipePair()
+	defer a.close()
+	defer b.close()
+	go a.send(frame{Type: frameResult, ID: 1, Offset: 0, Metrics: map[string]float64{"m": 1.5}})
+	got, err := b.recv(time.Now().Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Offset != 0 || got.Metrics["m"] != 1.5 {
+		t.Errorf("zero offset mangled: %+v", got)
+	}
+}
+
+func TestRecvDeadline(t *testing.T) {
+	a, b := pipePair()
+	defer a.close()
+	defer b.close()
+	if _, err := b.recv(time.Now().Add(30 * time.Millisecond)); err == nil {
+		t.Error("recv without traffic should trip the deadline")
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	a, b := pipePair()
+	defer a.close()
+	defer b.close()
+	go func() {
+		f, err := b.recv(time.Now().Add(2 * time.Second))
+		if err != nil || f.Type != frameHello {
+			return
+		}
+		b.send(frame{Type: frameHelloOK, Version: ProtocolVersion + 1})
+	}()
+	err := a.handshake(2 * time.Second)
+	if err == nil || !strings.Contains(err.Error(), "v2") {
+		t.Errorf("version mismatch should be rejected, got %v", err)
+	}
+}
+
+func TestBackoffBoundedAndJittered(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, 80*time.Millisecond, 1)
+	prevMax := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		d := b.next()
+		if d < 5*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v outside jittered bounds", i, d)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+	if prevMax < 40*time.Millisecond {
+		t.Errorf("backoff never grew: max %v", prevMax)
+	}
+	b.reset()
+	if d := b.next(); d > 15*time.Millisecond {
+		t.Errorf("reset did not shrink the delay: %v", d)
+	}
+}

@@ -1,0 +1,264 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Worker serves seed chunks to coordinators: it listens on a TCP
+// address, executes the requested workload+sim runs with bounded local
+// parallelism, and streams per-run results back as they complete
+// (offsets identify runs, so arrival order is free to be whatever the
+// scheduler produces). One worker serves any number of coordinator
+// connections concurrently.
+type Worker struct {
+	// Parallelism bounds concurrent simulations across all connections
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// HeartbeatEvery is the interval between liveness frames while a
+	// chunk executes (0 = 1s). Heartbeats keep the coordinator's read
+	// deadline from tripping on genuinely slow runs.
+	HeartbeatEvery time.Duration
+	// Obs receives spans and counters for served chunks; nil disables.
+	Obs *obs.Observer
+
+	ln     net.Listener
+	sem    chan struct{}
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Listen binds the worker to addr (e.g. ":9777" or "127.0.0.1:0").
+func (w *Worker) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: worker listen %s: %w", addr, err)
+	}
+	w.ln = ln
+	p := w.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	w.sem = make(chan struct{}, p)
+	w.conns = make(map[net.Conn]struct{})
+	return nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (w *Worker) Addr() string {
+	if w.ln == nil {
+		return ""
+	}
+	return w.ln.Addr().String()
+}
+
+// Serve accepts coordinator connections until Close. It returns nil on
+// a clean shutdown.
+func (w *Worker) Serve() error {
+	if w.ln == nil {
+		return errors.New("dist: worker not listening (call Listen first)")
+	}
+	for {
+		nc, err := w.ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		w.conns[nc] = struct{}{}
+		w.mu.Unlock()
+		go w.serveConn(nc)
+	}
+}
+
+// Close stops accepting and tears down every live connection, aborting
+// in-flight chunks (their coordinators will re-dispatch elsewhere).
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for nc := range w.conns {
+		conns = append(conns, nc)
+	}
+	w.mu.Unlock()
+	var err error
+	if w.ln != nil {
+		err = w.ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	return err
+}
+
+func (w *Worker) serveConn(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		w.mu.Lock()
+		delete(w.conns, nc)
+		w.mu.Unlock()
+	}()
+	c := newConn(nc)
+	for {
+		f, err := c.recv(time.Time{})
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				w.Obs.T().Event("dist.worker_conn_error", obs.Str("peer", c.addr), obs.Str("error", err.Error()))
+			}
+			return
+		}
+		switch f.Type {
+		case frameHello:
+			if f.Version != ProtocolVersion {
+				c.send(frame{Type: frameError,
+					Error: fmt.Sprintf("protocol version %d, worker speaks %d", f.Version, ProtocolVersion)})
+				return
+			}
+			p := cap(w.sem)
+			if err := c.send(frame{Type: frameHelloOK, Version: ProtocolVersion, Parallelism: p}); err != nil {
+				return
+			}
+		case framePing:
+			if err := c.send(frame{Type: framePong}); err != nil {
+				return
+			}
+		case frameRunChunk:
+			if err := w.runChunk(c, f); err != nil {
+				return
+			}
+		default:
+			c.send(frame{Type: frameError, ID: f.ID, Error: fmt.Sprintf("unknown frame type %q", f.Type)})
+			return
+		}
+	}
+}
+
+// runChunk executes one contiguous seed chunk and streams results. The
+// connection error (not the simulation error) is returned: a failed run
+// is reported in-band with an error frame and the connection stays up.
+func (w *Worker) runChunk(c *conn, req frame) error {
+	span := w.Obs.T().StartSpan("dist.worker_chunk", obs.Str("peer", c.addr),
+		obs.U64("id", req.ID), obs.Str("benchmark", req.Benchmark),
+		obs.Int("start", req.Start), obs.Int("count", req.Count))
+	w.Obs.M().Counter(obs.MetricDistChunksServed).Inc()
+	if req.Count <= 0 || req.Config == nil || req.Benchmark == "" {
+		span.End(obs.Str("error", "malformed chunk"))
+		return c.send(frame{Type: frameError, ID: req.ID, Error: "malformed run_chunk frame"})
+	}
+
+	hb := w.HeartbeatEvery
+	if hb <= 0 {
+		hb = time.Second
+	}
+	stopHB := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-t.C:
+				// A send failure here will also surface on the result
+				// path; ignore it.
+				c.send(frame{Type: frameHeartbeat, ID: req.ID})
+			}
+		}
+	}()
+	defer func() {
+		close(stopHB)
+		hbWG.Wait()
+	}()
+
+	type runOut struct {
+		offset  int
+		metrics map[string]float64
+		cycles  uint64
+		elapsed time.Duration
+		err     error
+	}
+	outs := make(chan runOut, req.Count)
+	var wg sync.WaitGroup
+	for i := 0; i < req.Count; i++ {
+		wg.Add(1)
+		w.sem <- struct{}{}
+		go func(off int) {
+			defer wg.Done()
+			defer func() { <-w.sem }()
+			seed := req.BaseSeed + uint64(off)
+			start := time.Now()
+			res, err := sim.Run(req.Benchmark, *req.Config, req.Scale, seed)
+			o := runOut{offset: off, elapsed: time.Since(start), err: err}
+			if err == nil {
+				o.metrics = res.Metrics
+				o.cycles = res.Cycles
+			}
+			outs <- o
+		}(req.Start + i)
+	}
+	go func() {
+		wg.Wait()
+		close(outs)
+	}()
+
+	// Drain every run before reporting: a single failed seed aborts the
+	// chunk (the coordinator decides whether to retry it elsewhere or
+	// surface the failure), but the remaining runs must finish so the
+	// semaphore is returned.
+	var runErr error
+	sent := 0
+	var sendErr error
+	for o := range outs {
+		if o.err != nil {
+			if runErr == nil {
+				runErr = fmt.Errorf("seed %d: %w", req.BaseSeed+uint64(o.offset), o.err)
+			}
+			continue
+		}
+		if sendErr != nil || runErr != nil {
+			continue
+		}
+		if err := c.send(frame{Type: frameResult, ID: req.ID, Offset: o.offset,
+			Metrics: o.metrics, Cycles: o.cycles, ElapsedUS: o.elapsed.Microseconds()}); err != nil {
+			sendErr = err
+			continue
+		}
+		sent++
+	}
+	if sendErr != nil {
+		span.End(obs.Str("error", sendErr.Error()))
+		return sendErr
+	}
+	if runErr != nil {
+		span.End(obs.Str("error", runErr.Error()))
+		return c.send(frame{Type: frameError, ID: req.ID, Error: runErr.Error()})
+	}
+	span.End(obs.Int("results", sent))
+	return c.send(frame{Type: frameChunkDone, ID: req.ID, Count: sent})
+}

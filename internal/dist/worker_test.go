@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// dialRaw opens a raw protocol connection to a worker, without the
+// coordinator machinery, so tests can speak the wire format directly.
+func dialRaw(t *testing.T, addr string) *conn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(nc)
+	t.Cleanup(func() { c.close() })
+	return c
+}
+
+func recvT(t *testing.T, c *conn) frame {
+	t.Helper()
+	f, err := c.recv(time.Now().Add(10 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestWorkerHelloAndPing(t *testing.T) {
+	w := startWorker(t)
+	c := dialRaw(t, w.Addr())
+	if err := c.handshake(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(frame{Type: framePing}); err != nil {
+		t.Fatal(err)
+	}
+	if f := recvT(t, c); f.Type != framePong {
+		t.Errorf("ping answered with %q", f.Type)
+	}
+}
+
+func TestWorkerRejectsVersionSkew(t *testing.T) {
+	w := startWorker(t)
+	c := dialRaw(t, w.Addr())
+	if err := c.send(frame{Type: frameHello, Version: ProtocolVersion + 7}); err != nil {
+		t.Fatal(err)
+	}
+	f := recvT(t, c)
+	if f.Type != frameError || !strings.Contains(f.Error, "version") {
+		t.Errorf("version skew answered with %+v", f)
+	}
+}
+
+func TestWorkerStreamsChunk(t *testing.T) {
+	w := startWorker(t)
+	c := dialRaw(t, w.Addr())
+	if err := c.handshake(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	const id, start, count = 5, 2, 4
+	err := c.send(frame{Type: frameRunChunk, ID: id, Benchmark: testBench,
+		Config: &cfg, Scale: testScale, BaseSeed: testSeed, Start: start, Count: count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]map[string]float64{}
+	for {
+		f := recvT(t, c)
+		switch f.Type {
+		case frameHeartbeat:
+			continue
+		case frameResult:
+			if f.ID != id {
+				t.Fatalf("result for chunk %d, want %d", f.ID, id)
+			}
+			got[f.Offset] = f.Metrics
+		case frameChunkDone:
+			if len(got) != count || f.Count != count {
+				t.Fatalf("chunk_done after %d results (reported %d), want %d", len(got), f.Count, count)
+			}
+			for off := start; off < start+count; off++ {
+				res, err := sim.Run(testBench, cfg, testScale, testSeed+uint64(off))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[off] == nil || got[off][sim.MetricRuntime] != res.Metrics[sim.MetricRuntime] {
+					t.Errorf("offset %d: streamed %v, local %g", off, got[off], res.Metrics[sim.MetricRuntime])
+				}
+			}
+			return
+		case frameError:
+			t.Fatalf("worker reported: %s", f.Error)
+		default:
+			t.Fatalf("unexpected %q frame", f.Type)
+		}
+	}
+}
+
+func TestWorkerReportsRunErrorInBand(t *testing.T) {
+	w := startWorker(t)
+	c := dialRaw(t, w.Addr())
+	if err := c.handshake(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	if err := c.send(frame{Type: frameRunChunk, ID: 1, Benchmark: "nope",
+		Config: &cfg, Scale: testScale, BaseSeed: testSeed, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		f := recvT(t, c)
+		if f.Type == frameHeartbeat {
+			continue
+		}
+		if f.Type != frameError || !strings.Contains(f.Error, "nope") {
+			t.Fatalf("bad benchmark answered with %+v", f)
+		}
+		break
+	}
+	// The failure was in-band: the connection must still serve.
+	if err := c.send(frame{Type: framePing}); err != nil {
+		t.Fatal(err)
+	}
+	if f := recvT(t, c); f.Type != framePong {
+		t.Errorf("connection dead after in-band error: got %q", f.Type)
+	}
+}
+
+func TestWorkerRejectsMalformedChunk(t *testing.T) {
+	w := startWorker(t)
+	c := dialRaw(t, w.Addr())
+	if err := c.handshake(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// No config, no benchmark, zero count.
+	if err := c.send(frame{Type: frameRunChunk, ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	f := recvT(t, c)
+	if f.Type != frameError || f.ID != 3 {
+		t.Errorf("malformed chunk answered with %+v", f)
+	}
+}
+
+func TestWorkerClosesOnUnknownFrame(t *testing.T) {
+	w := startWorker(t)
+	c := dialRaw(t, w.Addr())
+	if err := c.send(frame{Type: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	f := recvT(t, c)
+	if f.Type != frameError || !strings.Contains(f.Error, "bogus") {
+		t.Errorf("unknown frame answered with %+v", f)
+	}
+	if _, err := c.recv(time.Now().Add(2 * time.Second)); err == nil {
+		t.Error("worker should close the connection after an unknown frame")
+	}
+}
+
+func TestWorkerServeWithoutListen(t *testing.T) {
+	var w Worker
+	if err := w.Serve(); err == nil {
+		t.Error("Serve before Listen should error")
+	}
+}

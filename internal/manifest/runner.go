@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/stats"
@@ -50,6 +51,11 @@ type Runner struct {
 	// nil field) disables that backend. It replaces the old ad-hoc Log
 	// writer; for plain progress lines use obs.NewProgress on a writer.
 	Obs *obs.Observer
+	// Workers are spaworker addresses (host:port). When non-empty,
+	// populations are simulated across them via internal/dist; the
+	// results are byte-identical to a local campaign with the same
+	// manifest seed (unreachable workers degrade to local execution).
+	Workers []string
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -102,18 +108,46 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 		}
 	}
 
-	f, err := os.Create(r.ReportPath(m))
+	err := writeFileAtomic(r.ReportPath(m), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(report)
+	})
 	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(report); err != nil {
 		return nil, err
 	}
 	r.logf("report written to %s", r.ReportPath(m))
 	return report, nil
+}
+
+// writeFileAtomic writes via a temp file in the same directory and
+// renames it into place, propagating Close errors — so a short write (a
+// full disk, a crash mid-campaign) never leaves a truncated file that
+// the resume path would later load as a valid population.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // analyze runs one analysis on an entry's population, recording a span
@@ -182,18 +216,20 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 	// Totals grow entry by entry (resume skips entries), so ETA reflects
 	// the work discovered so far.
 	r.Obs.P().AddTotal(runs)
-	pop, err := population.GenerateHooked(e.Benchmark, cfg, scale, runs,
-		m.Seed+uint64(idx)*1_000_000, r.Parallelism,
-		population.ObserverHooks(r.Obs, e.Benchmark))
+	baseSeed := m.Seed + uint64(idx)*1_000_000
+	hooks := population.ObserverHooks(r.Obs, e.Benchmark)
+	var pop *population.Population
+	if len(r.Workers) > 0 {
+		coord := &dist.Coordinator{Workers: r.Workers, Parallelism: r.Parallelism, Obs: r.Obs}
+		pop, err = coord.GeneratePopulation(e.Benchmark, cfg, scale, runs, baseSeed, hooks)
+	} else {
+		pop, err = population.GenerateHooked(e.Benchmark, cfg, scale, runs,
+			baseSeed, r.Parallelism, hooks)
+	}
 	if err != nil {
 		return nil, false, err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, false, err
-	}
-	defer f.Close()
-	if err := pop.Save(f); err != nil {
+	if err := writeFileAtomic(path, pop.Save); err != nil {
 		return nil, false, err
 	}
 	return pop, false, nil

@@ -1,0 +1,98 @@
+package manifest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// startDistWorkers boots n real workers on loopback ports for the
+// duration of the test and returns their addresses.
+func startDistWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w := &dist.Worker{Parallelism: 2}
+		if err := w.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+	return addrs
+}
+
+// campaignFiles are every artifact a tiny campaign writes.
+func campaignFiles() []string {
+	return []string{"tiny-swaptions-default.json", "tiny-swaptions-l2half.json", "tiny-report.json"}
+}
+
+func runCampaignDir(t *testing.T, workers []string) string {
+	t.Helper()
+	dir := t.TempDir()
+	r := &Runner{OutDir: dir, Workers: workers}
+	if _, err := r.Run(tinyManifest()); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func compareCampaignDirs(t *testing.T, label, got, want string) {
+	t.Helper()
+	for _, name := range campaignFiles() {
+		g, err := os.ReadFile(filepath.Join(got, name))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		w, err := os.ReadFile(filepath.Join(want, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(g, w) {
+			t.Errorf("%s: %s differs from the local campaign", label, name)
+		}
+	}
+}
+
+// TestRunnerDistributedByteIdentical pins the subsystem's acceptance
+// criterion: a campaign distributed across 1, 2, or 4 workers writes
+// populations and a report byte-identical to the local run with the same
+// manifest seed.
+func TestRunnerDistributedByteIdentical(t *testing.T) {
+	localDir := runCampaignDir(t, nil)
+	for _, nw := range []int{1, 2, 4} {
+		distDir := runCampaignDir(t, startDistWorkers(t, nw))
+		compareCampaignDirs(t, map[int]string{1: "1 worker", 2: "2 workers", 4: "4 workers"}[nw], distDir, localDir)
+	}
+}
+
+// TestRunnerDistributedWorkerKilledMidCampaign kills one of two workers
+// shortly after the campaign starts; the survivor (with the coordinator's
+// re-dispatch) must still produce byte-identical output.
+func TestRunnerDistributedWorkerKilledMidCampaign(t *testing.T) {
+	localDir := runCampaignDir(t, nil)
+
+	victim := &dist.Worker{Parallelism: 1}
+	if err := victim.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go victim.Serve()
+	t.Cleanup(func() { victim.Close() })
+	survivor := startDistWorkers(t, 1)
+
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		victim.Close()
+	}()
+	dir := t.TempDir()
+	r := &Runner{OutDir: dir, Workers: append([]string{victim.Addr()}, survivor...)}
+	if _, err := r.Run(tinyManifest()); err != nil {
+		t.Fatal(err)
+	}
+	compareCampaignDirs(t, "killed worker", dir, localDir)
+}

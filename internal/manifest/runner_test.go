@@ -3,6 +3,8 @@ package manifest
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -175,8 +177,77 @@ func TestRunnerResumeCorruptFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := &Runner{OutDir: dir}
-	if _, err := r.Run(m); err == nil {
-		t.Error("corrupt population file should fail loudly, not silently regenerate")
+	_, err := r.Run(m)
+	if err == nil {
+		t.Fatal("corrupt population file should fail loudly, not silently regenerate")
+	}
+	if !strings.Contains(err.Error(), "resuming from") || !strings.Contains(err.Error(), bad) {
+		t.Errorf("error should say it was resuming and name the file: %v", err)
+	}
+}
+
+// TestRunnerResumeTruncatedFile covers the partial-write shape of
+// corruption (a crash mid-write under non-atomic saving): a valid JSON
+// prefix cut off mid-stream must also fail the resume loudly.
+func TestRunnerResumeTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	m := tinyManifest()
+	m.Entries = m.Entries[:1]
+	r := &Runner{OutDir: dir}
+	if _, err := r.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "tiny-swaptions-default.json")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run(m)
+	if err == nil {
+		t.Fatal("truncated population file should fail the resume")
+	}
+	if !strings.Contains(err.Error(), "resuming from") {
+		t.Errorf("error should mention resuming: %v", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("ok"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "ok" {
+		t.Fatalf("atomic write produced %q, %v", got, err)
+	}
+
+	// A failed write must leave neither the target nor temp litter behind.
+	failPath := filepath.Join(dir, "fail.json")
+	boom := errors.New("disk full")
+	if err := writeFileAtomic(failPath, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("want the write error back, got %v", err)
+	}
+	if _, err := os.Stat(failPath); !errors.Is(err, os.ErrNotExist) {
+		t.Error("failed write left the target file behind")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "out.json" {
+			t.Errorf("leftover file %s after failed atomic write", e.Name())
+		}
 	}
 }
 

@@ -20,6 +20,18 @@ const (
 	MetricAdaptiveRound = "spa_adaptive_rounds_total"
 	MetricTrials        = "spa_trials_total"
 	MetricEntriesReused = "spa_entries_reused_total"
+
+	// Distributed execution (internal/dist). Coordinator side unless
+	// noted: chunks dispatched/completed, re-dispatches after a worker
+	// failure, connection retries, workers declared dead, chunks that
+	// degraded to in-process execution, and chunks served (worker side).
+	MetricDistChunksDispatched = "spa_dist_chunks_dispatched_total"
+	MetricDistChunksCompleted  = "spa_dist_chunks_completed_total"
+	MetricDistRedispatches     = "spa_dist_redispatches_total"
+	MetricDistRetries          = "spa_dist_conn_retries_total"
+	MetricDistWorkersDead      = "spa_dist_workers_dead_total"
+	MetricDistLocalChunks      = "spa_dist_local_fallback_chunks_total"
+	MetricDistChunksServed     = "spa_dist_chunks_served_total"
 )
 
 // Counter is a monotonically increasing integer metric. Nil counters

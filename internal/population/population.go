@@ -111,18 +111,31 @@ func GenerateHooked(benchmark string, cfg sim.Config, scale float64, runs int, b
 	if len(failures) > 0 {
 		return nil, errors.Join(failures...)
 	}
+	metrics := make([]map[string]float64, runs)
+	for i, res := range results {
+		metrics[i] = res.Metrics
+	}
+	return FromRuns(benchmark, baseSeed, metrics), nil
+}
+
+// FromRuns assembles a population from per-run scalar metric maps
+// ordered by seed offset. Local generation and the distributed
+// coordinator (internal/dist) both build populations through this one
+// path, which is what makes a distributed campaign byte-identical to a
+// local one for the same base seed.
+func FromRuns(benchmark string, baseSeed uint64, runs []map[string]float64) *Population {
 	pop := &Population{
 		Benchmark: benchmark,
-		Runs:      runs,
+		Runs:      len(runs),
 		BaseSeed:  baseSeed,
 		Metrics:   make(map[string][]float64),
 	}
-	for _, res := range results {
-		for name, v := range res.Metrics {
+	for _, m := range runs {
+		for name, v := range m {
 			pop.Metrics[name] = append(pop.Metrics[name], v)
 		}
 	}
-	return pop, nil
+	return pop
 }
 
 // FromValues builds a population directly from a metric vector, for
