@@ -333,6 +333,7 @@ func BenchmarkAblationBatchParallel(b *testing.B) {
 	}
 	for _, batch := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Collect(run, 1, 29, batch); err != nil {
 					b.Fatal(err)
@@ -362,6 +363,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // BenchmarkPopulationGeneration measures parallel campaign throughput.
 func BenchmarkPopulationGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := population.Generate("ferret", sim.DefaultConfig(), 0.08, 16, uint64(i)*100, 0); err != nil {
 			b.Fatal(err)

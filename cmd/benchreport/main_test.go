@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorThroughput/ferret-8         	     420	   5340304 ns/op	    267268 sim-cycles	 2935639 B/op	   20285 allocs/op
+BenchmarkPopulationGeneration-8               	      64	  36680329 ns/op	32434650 B/op	  115206 allocs/op
+PASS
+ok  	repro	10.560s
+`
+
+const sampleBaseline = `BenchmarkSimulatorThroughput/ferret-8  400  10680608 ns/op
+BenchmarkPopulationGeneration-8        32   36680329 ns/op
+BenchmarkOnlyInBaseline-8              10    1000000 ns/op
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "SimulatorThroughput/ferret" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Iterations != 420 || b.NsPerOp != 5340304 {
+		t.Errorf("ferret = %+v", b)
+	}
+	want := map[string]float64{"sim-cycles": 267268, "B/op": 2935639, "allocs/op": 20285}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %s = %g, want %g", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-8",
+		"BenchmarkBroken-8 notanint 5 ns/op",
+		"BenchmarkBroken-8 10 zzz ns/op",
+	} {
+		if _, err := Parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("no error for %q", line)
+		}
+	}
+}
+
+func TestBaselineImprovement(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Parse(strings.NewReader(sampleBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyBaseline(rep, base)
+	ferret := rep.Benchmarks[0]
+	if ferret.BaselineNsPerOp != 10680608 {
+		t.Fatalf("baseline = %g", ferret.BaselineNsPerOp)
+	}
+	if ferret.ImprovementPct != 50.0 {
+		t.Fatalf("improvement = %g, want 50.0", ferret.ImprovementPct)
+	}
+	// Identical ns/op → 0% improvement, still annotated.
+	popgen := rep.Benchmarks[1]
+	if popgen.BaselineNsPerOp != 36680329 || popgen.ImprovementPct != 0 {
+		t.Fatalf("popgen = %+v", popgen)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	baseline := filepath.Join(dir, "baseline.txt")
+	out := filepath.Join(dir, "BENCH.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-in", in, "-baseline", baseline, "-out", out}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 || rep.Benchmarks[0].ImprovementPct != 50.0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Empty input is an error, not an empty artifact.
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", empty}, nil, nil); err == nil {
+		t.Fatal("no error for empty input")
+	}
+}

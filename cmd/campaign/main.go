@@ -20,6 +20,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/manifest"
 	"repro/internal/obs"
+	"repro/internal/popcache"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func run(args []string, w io.Writer) error {
 	out := fs.String("out", "campaign-out", "output directory for populations and the report")
 	parallel := fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	workers := fs.String("workers", "", "comma-separated spaworker addresses (host:port,...) to distribute simulations across; results are byte-identical to a local run")
+	popcacheDir := fs.String("popcache", "", "content-addressed population cache directory shared across campaigns; hits are byte-identical to re-simulating")
 	initTpl := fs.Bool("init", false, "print a template manifest and exit")
 	quiet := fs.Bool("quiet", false, "suppress all progress output (overrides -progress)")
 	version := fs.Bool("version", false, "print build information and exit")
@@ -80,6 +82,9 @@ func run(args []string, w io.Writer) error {
 		o.Progress = obs.NewProgress(w, "runs", 0)
 	}
 	runner := &manifest.Runner{OutDir: *out, Parallelism: *parallel, Obs: o, Workers: dist.SplitAddrs(*workers)}
+	if *popcacheDir != "" {
+		runner.PopCache = popcache.New(*popcacheDir, 0)
+	}
 	report, err := runner.Run(m)
 	if err != nil {
 		closeObs()

@@ -20,6 +20,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/popcache"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func run(args []string, w io.Writer) error {
 	trials := fs.Int("trials", 0, "override CI trial count")
 	scale := fs.Float64("scale", 0, "override workload scale")
 	seed := fs.Uint64("seed", 0, "override campaign seed")
+	popcacheDir := fs.String("popcache", "", "content-addressed population cache directory; repeated runs reuse byte-identical populations instead of re-simulating")
 	version := fs.Bool("version", false, "print build information and exit")
 	var of obs.Flags
 	of.Register(fs)
@@ -74,6 +76,9 @@ func run(args []string, w io.Writer) error {
 		opts.Seed = *seed
 	}
 	engine := exp.NewEngine(opts)
+	if *popcacheDir != "" {
+		engine.SetPopCache(popcache.New(*popcacheDir, 0))
+	}
 	o, closeObs, err := of.Start("runs", os.Stderr)
 	if err != nil {
 		return err

@@ -39,6 +39,7 @@ import (
 	"repro/internal/gem5"
 	"repro/internal/manifest"
 	"repro/internal/obs"
+	"repro/internal/popcache"
 	"repro/internal/population"
 	"repro/internal/smc"
 	"repro/internal/stats"
@@ -135,12 +136,13 @@ type dataFlags struct {
 	metric string
 	// simulator-backed collection (-sim): measurements come from fresh
 	// seeded executions, optionally distributed across spaworkers.
-	sim     string
-	variant string
-	runs    int
-	scale   float64
-	simSeed uint64
-	workers string
+	sim      string
+	variant  string
+	runs     int
+	scale    float64
+	simSeed  uint64
+	workers  string
+	popcache string
 }
 
 func (d *dataFlags) register(fs *flag.FlagSet) {
@@ -154,6 +156,7 @@ func (d *dataFlags) register(fs *flag.FlagSet) {
 	fs.Float64Var(&d.scale, "scale", 0.5, "workload scale with -sim")
 	fs.Uint64Var(&d.simSeed, "simseed", 1, "base seed with -sim (run i uses simseed+i)")
 	fs.StringVar(&d.workers, "workers", "", "comma-separated spaworker addresses to distribute -sim runs across (byte-identical to local)")
+	fs.StringVar(&d.popcache, "popcache", "", "content-addressed population cache directory for -sim; hits are byte-identical to re-simulating")
 }
 
 func (d *dataFlags) load() ([]float64, error) {
@@ -164,9 +167,17 @@ func (d *dataFlags) load() ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		coord := &dist.Coordinator{Workers: dist.SplitAddrs(d.workers), Obs: telemetry}
-		pop, err := coord.GeneratePopulation(d.sim, cfg, d.scale, d.runs, d.simSeed,
-			population.ObserverHooks(telemetry, d.sim))
+		var cache *popcache.Cache
+		if d.popcache != "" {
+			cache = popcache.New(d.popcache, 0)
+		}
+		pop, _, err := cache.GetOrGenerate(
+			popcache.Key{Benchmark: d.sim, Config: cfg, Scale: d.scale, BaseSeed: d.simSeed, Runs: d.runs},
+			func() (*population.Population, error) {
+				coord := &dist.Coordinator{Workers: dist.SplitAddrs(d.workers), Obs: telemetry}
+				return coord.GeneratePopulation(d.sim, cfg, d.scale, d.runs, d.simSeed,
+					population.ObserverHooks(telemetry, d.sim))
+			})
 		if err != nil {
 			return nil, err
 		}

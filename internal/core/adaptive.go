@@ -74,7 +74,10 @@ func AnalyzeToWidthWith(c Collector, p Params, w WidthOptions) (*Analysis, error
 		return nil, fmt.Errorf("core: MaxSamples %d below the (F,C) minimum %d", maxN, minN)
 	}
 
-	samples := make([]float64, 0, minN)
+	// The sample buffer is sized once for the whole budget, so refinement
+	// rounds append without regrowing, and the Analysis copy is made only
+	// on the round that actually returns.
+	samples := make([]float64, 0, maxN)
 	next := uint64(0)
 	collect := func(n int) error {
 		fresh, err := c.Collect(w.BaseSeed+next, n, w.Batch, w.Hooks)
@@ -97,13 +100,15 @@ func AnalyzeToWidthWith(c Collector, p Params, w WidthOptions) (*Analysis, error
 		if w.Hooks.OnRound != nil {
 			w.Hooks.OnRound(len(samples), iv.Width())
 		}
-		a := &Analysis{Params: p, Samples: append([]float64(nil), samples...), Interval: iv, MinSamples: minN}
-		if iv.Width() <= w.TargetWidth {
+		done := iv.Width() <= w.TargetWidth
+		exhausted := !done && len(samples) >= maxN
+		if done || exhausted {
+			a := &Analysis{Params: p, Samples: append([]float64(nil), samples...), Interval: iv, MinSamples: minN}
+			if exhausted {
+				return a, fmt.Errorf("%w: width %.6g after %d executions (target %.6g)",
+					ErrWidthBudget, iv.Width(), len(samples), w.TargetWidth)
+			}
 			return a, nil
-		}
-		if len(samples) >= maxN {
-			return a, fmt.Errorf("%w: width %.6g after %d executions (target %.6g)",
-				ErrWidthBudget, iv.Width(), len(samples), w.TargetWidth)
 		}
 		n := grow
 		if len(samples)+n > maxN {

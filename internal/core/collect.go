@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,9 +46,17 @@ func CollectHooks(run RunFunc, baseSeed uint64, n, batch int, h Hooks) ([]float6
 		batch = n
 	}
 	out := make([]float64, n)
-	errs := make([]error, n)
 	observed := h.enabled()
 	idx := make(chan int)
+	// Failures are the exception, so they are gathered lazily under a mutex
+	// rather than in a per-call []error of length n: the happy path of a
+	// campaign round allocates only the sample slice itself. The seed-offset
+	// sort keeps the joined error deterministic regardless of which worker
+	// hit which failure first.
+	var (
+		errMu    sync.Mutex
+		failures []seedErr
+	)
 	var wg sync.WaitGroup
 	wg.Add(batch)
 	for w := 0; w < batch; w++ {
@@ -55,17 +64,23 @@ func CollectHooks(run RunFunc, baseSeed uint64, n, batch int, h Hooks) ([]float6
 			defer wg.Done()
 			for i := range idx {
 				seed := baseSeed + uint64(i)
-				if !observed {
-					out[i], errs[i] = run(seed)
-					continue
+				var err error
+				if observed {
+					if h.OnRunStart != nil {
+						h.OnRunStart(seed)
+					}
+					start := time.Now()
+					out[i], err = run(seed)
+					if h.OnRunDone != nil {
+						h.OnRunDone(seed, out[i], err, time.Since(start))
+					}
+				} else {
+					out[i], err = run(seed)
 				}
-				if h.OnRunStart != nil {
-					h.OnRunStart(seed)
-				}
-				start := time.Now()
-				out[i], errs[i] = run(seed)
-				if h.OnRunDone != nil {
-					h.OnRunDone(seed, out[i], errs[i], time.Since(start))
+				if err != nil {
+					errMu.Lock()
+					failures = append(failures, seedErr{i: i, err: err})
+					errMu.Unlock()
 				}
 			}
 		}()
@@ -75,16 +90,22 @@ func CollectHooks(run RunFunc, baseSeed uint64, n, batch int, h Hooks) ([]float6
 	}
 	close(idx)
 	wg.Wait()
-	var joined []error
-	for i, err := range errs {
-		if err != nil {
-			joined = append(joined, fmt.Errorf("core: execution with seed %d: %w", baseSeed+uint64(i), err))
+	if len(failures) > 0 {
+		sort.Slice(failures, func(a, b int) bool { return failures[a].i < failures[b].i })
+		joined := make([]error, len(failures))
+		for k, f := range failures {
+			joined[k] = fmt.Errorf("core: execution with seed %d: %w", baseSeed+uint64(f.i), f.err)
 		}
-	}
-	if len(joined) > 0 {
 		return nil, errors.Join(joined...)
 	}
 	return out, nil
+}
+
+// seedErr pairs a failed execution's seed offset with its error so joined
+// failures report in seed order.
+type seedErr struct {
+	i   int
+	err error
 }
 
 // Analysis is the full result of a push-button SPA run.

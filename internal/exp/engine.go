@@ -16,6 +16,7 @@ import (
 	"repro/internal/ci"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/popcache"
 	"repro/internal/population"
 	"repro/internal/randx"
 	"repro/internal/sim"
@@ -114,8 +115,9 @@ func (v Variant) Config() sim.Config {
 // Engine caches benchmark populations across figures so each campaign is
 // simulated once.
 type Engine struct {
-	opts Options
-	obs  *obs.Observer
+	opts  Options
+	obs   *obs.Observer
+	cache *popcache.Cache
 
 	mu   sync.Mutex
 	pops map[string]*population.Population
@@ -126,6 +128,13 @@ type Engine struct {
 // Telemetry never touches the trial or simulation RNG streams, so results
 // are identical with or without it.
 func (e *Engine) SetObserver(o *obs.Observer) { e.obs = o }
+
+// SetPopCache attaches a content-addressed population cache consulted
+// before any campaign is simulated. Because cache keys cover the complete
+// generation recipe and entries are byte-identical to fresh generation, an
+// engine with a warm cache produces exactly the figures a cold one would —
+// just without re-simulating. A nil cache (the default) disables the layer.
+func (e *Engine) SetPopCache(c *popcache.Cache) { e.cache = c }
 
 // NewEngine builds an engine. Zero-valued option fields are filled from
 // DefaultOptions.
@@ -175,14 +184,29 @@ func (e *Engine) Population(bench string, v Variant) (*population.Population, er
 	if ok {
 		return pop, nil
 	}
+	ck := popcache.Key{
+		Benchmark: bench,
+		Config:    v.Config(),
+		Scale:     e.opts.Scale,
+		BaseSeed:  e.opts.Seed*1_000_003 + uint64(v)*1009,
+		Runs:      runs,
+	}
+	if pop := e.cache.Get(ck); pop != nil {
+		e.obs.Logf("population cache hit for %s/%s: %d runs", bench, v, runs)
+		e.mu.Lock()
+		e.pops[key] = pop
+		e.mu.Unlock()
+		return pop, nil
+	}
 	e.obs.Logf("simulating %s/%s: %d runs", bench, v, runs)
 	e.obs.P().AddTotal(runs)
 	pop, err := population.GenerateHooked(bench, v.Config(), e.opts.Scale, runs,
-		e.opts.Seed*1_000_003+uint64(v)*1009, e.opts.Parallelism,
+		ck.BaseSeed, e.opts.Parallelism,
 		population.ObserverHooks(e.obs, bench))
 	if err != nil {
 		return nil, err
 	}
+	_ = e.cache.Put(ck, pop)
 	e.mu.Lock()
 	e.pops[key] = pop
 	e.mu.Unlock()

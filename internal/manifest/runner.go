@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/obs"
+	"repro/internal/popcache"
 	"repro/internal/population"
 	"repro/internal/stats"
 )
@@ -56,6 +57,11 @@ type Runner struct {
 	// results are byte-identical to a local campaign with the same
 	// manifest seed (unreachable workers degrade to local execution).
 	Workers []string
+	// PopCache, when non-nil, is consulted before simulating an entry and
+	// fed after. It is content-addressed by the full generation recipe, so
+	// a hit is byte-identical to re-simulating; unlike the per-campaign
+	// OutDir resume files it is shared across campaigns and manifests.
+	PopCache *popcache.Cache
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -212,11 +218,21 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 	if runs <= 0 {
 		runs = 100
 	}
+	baseSeed := m.Seed + uint64(idx)*1_000_000
+	ck := popcache.Key{Benchmark: e.Benchmark, Config: cfg, Scale: scale, BaseSeed: baseSeed, Runs: runs}
+	if pop := r.PopCache.Get(ck); pop != nil {
+		r.logf("population cache hit for %s (%d runs)", e.key(), pop.Runs)
+		r.Obs.M().Counter(obs.MetricEntriesReused).Inc()
+		r.Obs.T().Event("campaign.cache_hit", obs.Str("entry", e.key()), obs.Int("runs", pop.Runs))
+		if err := writeFileAtomic(path, pop.Save); err != nil {
+			return nil, false, err
+		}
+		return pop, true, nil
+	}
 	r.logf("simulating %s: %d runs at scale %g", e.key(), runs, scale)
 	// Totals grow entry by entry (resume skips entries), so ETA reflects
 	// the work discovered so far.
 	r.Obs.P().AddTotal(runs)
-	baseSeed := m.Seed + uint64(idx)*1_000_000
 	hooks := population.ObserverHooks(r.Obs, e.Benchmark)
 	var pop *population.Population
 	if len(r.Workers) > 0 {
@@ -229,6 +245,7 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 	if err != nil {
 		return nil, false, err
 	}
+	_ = r.PopCache.Put(ck, pop)
 	if err := writeFileAtomic(path, pop.Save); err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,113 @@
+package manifest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/popcache"
+)
+
+// popFiles are the campaign's population artifacts (the report is compared
+// structurally instead: the cached run legitimately differs in Reused).
+func popFiles() []string {
+	return []string{"tiny-swaptions-default.json", "tiny-swaptions-l2half.json"}
+}
+
+func comparePopFiles(t *testing.T, label, got, want string) {
+	t.Helper()
+	for _, name := range popFiles() {
+		g, err := os.ReadFile(filepath.Join(got, name))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		w, err := os.ReadFile(filepath.Join(want, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(g, w) {
+			t.Errorf("%s: %s differs", label, name)
+		}
+	}
+}
+
+// TestRunnerPopCacheHitByteIdentical pins the cache's campaign-level
+// contract: a campaign served entirely from the population cache writes
+// population files byte-identical to one that simulated from scratch, and
+// its analyses produce identical intervals.
+func TestRunnerPopCacheHitByteIdentical(t *testing.T) {
+	plainDir := t.TempDir()
+	plain := &Runner{OutDir: plainDir}
+	plainRep, err := plain.Run(tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := popcache.New(t.TempDir(), 0)
+	missDir := t.TempDir()
+	miss := &Runner{OutDir: missDir, PopCache: cache}
+	missRep, err := miss.Run(tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePopFiles(t, "cache miss", missDir, plainDir)
+	if len(missRep.Reused) != 0 {
+		t.Fatalf("cold cache reported reuse: %v", missRep.Reused)
+	}
+	if s := cache.Stats(); s.Puts != 2 {
+		t.Fatalf("cache stats after cold campaign: %+v", s)
+	}
+
+	// A second process over the same cache directory: no shared memory, no
+	// simulation — every entry must come from disk, byte-identical.
+	hitDir := t.TempDir()
+	hit := &Runner{OutDir: hitDir, PopCache: popcache.New(cache.Dir(), 0)}
+	hitRep, err := hit.Run(tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePopFiles(t, "cache hit", hitDir, plainDir)
+	if len(hitRep.Reused) != 2 {
+		t.Fatalf("warm cache reused %v", hitRep.Reused)
+	}
+	if s := hit.PopCache.Stats(); s.DiskHits != 2 || s.Misses != 0 {
+		t.Fatalf("cache stats after warm campaign: %+v", s)
+	}
+	if len(hitRep.Results) != len(plainRep.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(hitRep.Results), len(plainRep.Results))
+	}
+	for i, got := range hitRep.Results {
+		if got != plainRep.Results[i] {
+			t.Errorf("analysis %d differs: cached %+v, plain %+v", i, got, plainRep.Results[i])
+		}
+	}
+}
+
+// TestRunnerPopCacheThroughDistWorkers drives the miss path through two
+// real workers: the distributed campaign fills the cache, and a later local
+// campaign served from it is byte-identical to a plain local campaign —
+// the cache composes with distribution without perturbing determinism.
+func TestRunnerPopCacheThroughDistWorkers(t *testing.T) {
+	plainDir := runCampaignDir(t, nil)
+
+	cache := popcache.New(t.TempDir(), 0)
+	distDir := t.TempDir()
+	distRunner := &Runner{OutDir: distDir, Workers: startDistWorkers(t, 2), PopCache: cache}
+	if _, err := distRunner.Run(tinyManifest()); err != nil {
+		t.Fatal(err)
+	}
+	comparePopFiles(t, "distributed miss", distDir, plainDir)
+
+	hitDir := t.TempDir()
+	// No Workers here: a hit needs no simulation capacity at all.
+	hitRunner := &Runner{OutDir: hitDir, PopCache: popcache.New(cache.Dir(), 0)}
+	rep, err := hitRunner.Run(tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePopFiles(t, "hit after distributed fill", hitDir, plainDir)
+	if len(rep.Reused) != 2 {
+		t.Fatalf("expected both entries served from cache, got %v", rep.Reused)
+	}
+}

@@ -68,6 +68,11 @@ func Generate(benchmark string, cfg sim.Config, scale float64, runs int, baseSee
 }
 
 // GenerateHooked is Generate with per-execution observability callbacks.
+//
+// Runs execute on a fixed pool of workers, each owning one reusable
+// sim.Runner arena: run i always computes from seed baseSeed+i into slot i,
+// so results are independent of which worker picks up which run, and each
+// worker's machine allocations are paid once rather than per run.
 func GenerateHooked(benchmark string, cfg sim.Config, scale float64, runs int, baseSeed uint64, parallelism int, h RunHooks) (*Population, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("population: non-positive run count %d", runs)
@@ -75,32 +80,40 @@ func GenerateHooked(benchmark string, cfg sim.Config, scale float64, runs int, b
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	if parallelism > runs {
+		parallelism = runs
+	}
 	observed := h.OnRunStart != nil || h.OnRunDone != nil
 	results := make([]*sim.Result, runs)
 	errs := make([]error, runs)
-	sem := make(chan struct{}, parallelism)
+	indices := make(chan int)
 	var wg sync.WaitGroup
-	for i := 0; i < runs; i++ {
+	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			seed := baseSeed + uint64(i)
-			if !observed {
-				results[i], errs[i] = sim.Run(benchmark, cfg, scale, seed)
-				return
+			runner := sim.NewRunner()
+			for i := range indices {
+				seed := baseSeed + uint64(i)
+				if !observed {
+					results[i], errs[i] = runner.Run(benchmark, cfg, scale, seed)
+					continue
+				}
+				if h.OnRunStart != nil {
+					h.OnRunStart(i, seed)
+				}
+				start := time.Now()
+				results[i], errs[i] = runner.Run(benchmark, cfg, scale, seed)
+				if h.OnRunDone != nil {
+					h.OnRunDone(i, seed, results[i], errs[i], time.Since(start))
+				}
 			}
-			if h.OnRunStart != nil {
-				h.OnRunStart(i, seed)
-			}
-			start := time.Now()
-			results[i], errs[i] = sim.Run(benchmark, cfg, scale, seed)
-			if h.OnRunDone != nil {
-				h.OnRunDone(i, seed, results[i], errs[i], time.Since(start))
-			}
-		}(i)
+		}()
 	}
+	for i := 0; i < runs; i++ {
+		indices <- i
+	}
+	close(indices)
 	wg.Wait()
 	var failures []error
 	for i, err := range errs {

@@ -13,7 +13,10 @@
 // sibling streams.
 package randx
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
 // It is used for seeding and for stream derivation.
@@ -208,11 +211,27 @@ type Zipf struct {
 	r   *Rand
 }
 
+// zipfCDFCache memoizes CDF tables by (n, s). The table is a pure function
+// of its key — no randomness is drawn while building it — and is read-only
+// after construction, so sharing one copy across samplers (and goroutines)
+// yields bit-identical draws while skipping the O(n) math.Pow loop that
+// would otherwise run on every workload build.
+var zipfCDFCache sync.Map // zipfCDFKey → []float64
+
+type zipfCDFKey struct {
+	n int
+	s float64
+}
+
 // NewZipf builds a Zipf sampler over [0, n) with exponent s > 0 drawing
 // randomness from r.
 func NewZipf(r *Rand, n int, s float64) *Zipf {
 	if n <= 0 {
 		panic("randx: NewZipf with non-positive n")
+	}
+	key := zipfCDFKey{n: n, s: s}
+	if cached, ok := zipfCDFCache.Load(key); ok {
+		return &Zipf{cdf: cached.([]float64), r: r}
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -223,6 +242,7 @@ func NewZipf(r *Rand, n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
+	zipfCDFCache.Store(key, cdf)
 	return &Zipf{cdf: cdf, r: r}
 }
 

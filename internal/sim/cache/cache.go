@@ -58,12 +58,22 @@ type Cache struct {
 	sets      int
 	ways      int
 	blockBits uint
-	policy    Policy
-	lines     []line // sets × ways, row-major
-	clock     uint64
-	rngState  uint64 // xorshift state for the Random policy
-	stats     Stats
+	// setShift/setMask enable the shift-and-mask index fast path when the
+	// set count is a power of two (every Table 2 cache except the 3 MB L2);
+	// setMask == 0 selects the general modulo path.
+	setShift uint
+	setMask  uint64
+	policy   Policy
+	lines    []line // sets × ways, row-major
+	clock    uint64
+	rngState uint64 // xorshift state for the Random policy
+	stats    Stats
 }
+
+// initialRNGState seeds the deterministic xorshift stream of the Random
+// replacement policy; Reset restores it so a reused cache replays the same
+// victim sequence as a freshly built one.
+const initialRNGState = 0x9E3779B97F4A7C15
 
 // Config sizes a cache.
 type Config struct {
@@ -101,15 +111,34 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Policy < LRU || cfg.Policy > Random {
 		return nil, fmt.Errorf("cache: unknown replacement policy %d", cfg.Policy)
 	}
-	return &Cache{
+	c := &Cache{
 		name:      cfg.Name,
 		sets:      sets,
 		ways:      cfg.Ways,
 		blockBits: blockBits,
 		policy:    cfg.Policy,
 		lines:     make([]line, sets*cfg.Ways),
-		rngState:  0x9E3779B97F4A7C15,
-	}, nil
+		rngState:  initialRNGState,
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint64(sets - 1)
+		for 1<<c.setShift < sets {
+			c.setShift++
+		}
+	}
+	return c, nil
+}
+
+// Reset returns the cache to its post-New state — every line invalid, the
+// LRU clock and the Random-policy stream at their initial values, all
+// counters zero — without reallocating the line array. It exists so a
+// pooled simulation runner can reuse the multi-megabyte line arrays across
+// runs while staying bit-identical to a freshly constructed cache.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.clock = 0
+	c.rngState = initialRNGState
+	c.stats = Stats{}
 }
 
 // BlockAddr returns the block-aligned address (tag+set) for addr.
@@ -117,6 +146,11 @@ func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockBits << c.
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	blk := addr >> c.blockBits
+	if c.setMask != 0 {
+		// Power-of-two set count: identical (set, tag) to the modulo path,
+		// computed with a mask and a shift.
+		return int(blk & c.setMask), blk >> c.setShift
+	}
 	return int(blk % uint64(c.sets)), blk / uint64(c.sets)
 }
 
@@ -137,49 +171,49 @@ type AccessResult struct {
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	set, tag := c.index(addr)
 	base := set * c.ways
+	lines := c.lines[base : base+c.ways : base+c.ways]
 	c.clock++
 
-	// Hit path.
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
-			if c.policy == LRU {
-				ln.lru = c.clock
-			}
-			if write {
-				ln.dirty = true
-			}
-			c.stats.Hits++
-			return AccessResult{Hit: true}
-		}
-	}
-
-	// Miss: pick victim (invalid way first, else per policy — for LRU and
-	// FIFO the smallest stamp; FIFO never refreshes stamps on hits).
+	// One pass over the set serves both hit detection and victim
+	// pre-selection (first invalid way, else the smallest stamp for LRU and
+	// FIFO — FIFO never refreshes stamps on hits), so the miss path does
+	// not rescan. Victim choice is identical to the former two-loop form.
 	victim := -1
+	minIdx := -1
 	var oldest uint64 = ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if !ln.valid {
+	for w := range lines {
+		ln := &lines[w]
+		if ln.valid {
+			if ln.tag == tag {
+				if c.policy == LRU {
+					ln.lru = c.clock
+				}
+				if write {
+					ln.dirty = true
+				}
+				c.stats.Hits++
+				return AccessResult{Hit: true}
+			}
+			if ln.lru < oldest {
+				oldest = ln.lru
+				minIdx = w
+			}
+		} else if victim == -1 {
 			victim = w
-			break
 		}
+	}
+	if victim == -1 {
 		if c.policy == Random {
-			continue
-		}
-		if ln.lru < oldest {
-			oldest = ln.lru
-			victim = w
+			// xorshift64*: deterministic, independent of map ordering.
+			c.rngState ^= c.rngState << 13
+			c.rngState ^= c.rngState >> 7
+			c.rngState ^= c.rngState << 17
+			victim = int(c.rngState % uint64(c.ways))
+		} else {
+			victim = minIdx
 		}
 	}
-	if victim == -1 && c.policy == Random {
-		// xorshift64*: deterministic, independent of map ordering.
-		c.rngState ^= c.rngState << 13
-		c.rngState ^= c.rngState >> 7
-		c.rngState ^= c.rngState << 17
-		victim = int(c.rngState % uint64(c.ways))
-	}
-	ln := &c.lines[base+victim]
+	ln := &lines[victim]
 	res := AccessResult{}
 	if ln.valid {
 		res.Evicted = true

@@ -65,11 +65,26 @@ func (p Protocol) String() string {
 
 // Directory tracks coherence state for every block resident anywhere on
 // chip.
+//
+// Entries live in a flat slab indexed through the map rather than as
+// individually heap-allocated values: directory churn (canneal touches
+// hundreds of thousands of blocks per run) would otherwise dominate the
+// simulator's allocation profile. A block that loses its last holder keeps
+// its slab slot, marked Invalid, instead of being deleted from the map:
+// eviction-heavy workloads re-touch the same blocks constantly, and a state
+// write plus a later map hit is far cheaper than a delete/re-insert pair.
+// The live counter maintains TrackedBlocks under this scheme.
 type Directory struct {
 	cores    int
 	protocol Protocol
-	entries  map[uint64]*entry
-	stats    Stats
+	entries  map[uint64]int32 // block → index into slab (possibly Invalid)
+	slab     []entry
+	live     int // entries not in state Invalid
+	// invScratch and holderScratch back the slices returned via
+	// Action.InvalidatedCores and DropBlock; see the aliasing note on Action.
+	invScratch    []int
+	holderScratch []int
+	stats         Stats
 }
 
 // Stats counts protocol actions.
@@ -94,11 +109,24 @@ func NewWithProtocol(cores int, p Protocol) (*Directory, error) {
 	if p != MESI && p != MSI {
 		return nil, fmt.Errorf("coherence: unknown protocol %d", p)
 	}
-	return &Directory{cores: cores, protocol: p, entries: make(map[uint64]*entry)}, nil
+	return &Directory{cores: cores, protocol: p, entries: make(map[uint64]int32)}, nil
+}
+
+// Reset drops all tracked blocks and zeroes the counters while keeping the
+// map buckets and slab capacity for reuse by a pooled runner.
+func (d *Directory) Reset() {
+	clear(d.entries)
+	d.slab = d.slab[:0]
+	d.live = 0
+	d.stats = Stats{}
 }
 
 // Action describes the coherence work an access caused; the machine model
 // converts these to latency.
+//
+// InvalidatedCores aliases a scratch buffer owned by the Directory and is
+// only valid until the next Read/Write call; callers must consume it
+// immediately (the machine model does) or copy it.
 type Action struct {
 	// Invalidated is the number of remote copies invalidated.
 	Invalidated int
@@ -120,12 +148,22 @@ type Action struct {
 }
 
 func (d *Directory) get(block uint64) *entry {
-	e, ok := d.entries[block]
-	if !ok {
-		e = &entry{state: Invalid, owner: -1}
-		d.entries[block] = e
+	if idx, ok := d.entries[block]; ok {
+		return &d.slab[idx]
 	}
-	return e
+	d.slab = append(d.slab, entry{state: Invalid, owner: -1})
+	idx := int32(len(d.slab) - 1)
+	d.entries[block] = idx
+	return &d.slab[idx]
+}
+
+// invalidate marks an entry untracked in place, keeping its slab slot and
+// map key for cheap re-acquisition.
+func (d *Directory) invalidate(e *entry) {
+	e.state = Invalid
+	e.sharers = 0
+	e.owner = -1
+	d.live--
 }
 
 func (d *Directory) checkCore(core int) {
@@ -150,6 +188,7 @@ func (d *Directory) Read(core int, block uint64) Action {
 			e.owner = core
 		}
 		e.sharers = bit
+		d.live++
 		act.WasMiss = true
 		d.stats.ReadMisses++
 	case Shared:
@@ -185,18 +224,21 @@ func (d *Directory) Write(core int, block uint64) Action {
 	var act Action
 	switch e.state {
 	case Invalid:
+		d.live++
 		act.WasMiss = true
 		d.stats.WriteMisses++
 	case Shared:
 		// Invalidate all other sharers; upgrade if we were one of them.
+		d.invScratch = d.invScratch[:0]
 		for c := 0; c < d.cores; c++ {
 			cb := uint64(1) << uint(c)
 			if c != core && e.sharers&cb != 0 {
 				act.Invalidated++
-				act.InvalidatedCores = append(act.InvalidatedCores, c)
+				d.invScratch = append(d.invScratch, c)
 				d.stats.Invalidations++
 			}
 		}
+		act.InvalidatedCores = d.invScratch
 		if e.sharers&bit != 0 {
 			act.Upgrade = true
 			d.stats.Upgrades++
@@ -214,7 +256,8 @@ func (d *Directory) Write(core int, block uint64) Action {
 			d.stats.OwnerForwards++
 		}
 		act.Invalidated++
-		act.InvalidatedCores = append(act.InvalidatedCores, e.owner)
+		d.invScratch = append(d.invScratch[:0], e.owner)
+		act.InvalidatedCores = d.invScratch
 		d.stats.Invalidations++
 		act.WasMiss = true
 		d.stats.WriteMisses++
@@ -229,21 +272,22 @@ func (d *Directory) Write(core int, block uint64) Action {
 // back-invalidation). It returns whether the evicted copy was Modified.
 func (d *Directory) Evict(core int, block uint64) (wasModified bool) {
 	d.checkCore(core)
-	e, ok := d.entries[block]
+	idx, ok := d.entries[block]
 	if !ok {
 		return false
 	}
+	e := &d.slab[idx]
 	bit := uint64(1) << uint(core)
 	switch e.state {
 	case Shared:
 		e.sharers &^= bit
 		if e.sharers == 0 {
-			delete(d.entries, block)
+			d.invalidate(e)
 		}
 	case Exclusive, Modified:
 		if e.owner == core {
 			wasModified = e.state == Modified
-			delete(d.entries, block)
+			d.invalidate(e)
 		}
 	}
 	return wasModified
@@ -251,29 +295,33 @@ func (d *Directory) Evict(core int, block uint64) (wasModified bool) {
 
 // DropBlock removes every core's copy (L2 eviction with inclusion). It
 // returns the cores that held the line so the machine can back-invalidate
-// their L1s, and whether a modified copy existed.
+// their L1s, and whether a modified copy existed. The returned slice aliases
+// a scratch buffer valid until the next DropBlock call.
 func (d *Directory) DropBlock(block uint64) (holders []int, hadModified bool) {
-	e, ok := d.entries[block]
-	if !ok {
+	idx, ok := d.entries[block]
+	if !ok || d.slab[idx].state == Invalid {
 		return nil, false
 	}
+	e := &d.slab[idx]
+	d.holderScratch = d.holderScratch[:0]
 	for c := 0; c < d.cores; c++ {
 		if e.sharers&(uint64(1)<<uint(c)) != 0 {
-			holders = append(holders, c)
+			d.holderScratch = append(d.holderScratch, c)
 		}
 	}
 	hadModified = e.state == Modified
-	delete(d.entries, block)
-	return holders, hadModified
+	d.invalidate(e)
+	return d.holderScratch, hadModified
 }
 
 // StateOf returns the directory state of a block and its holders, for tests
 // and invariant checks.
 func (d *Directory) StateOf(block uint64) (State, []int) {
-	e, ok := d.entries[block]
-	if !ok {
+	idx, ok := d.entries[block]
+	if !ok || d.slab[idx].state == Invalid {
 		return Invalid, nil
 	}
+	e := &d.slab[idx]
 	var holders []int
 	for c := 0; c < d.cores; c++ {
 		if e.sharers&(uint64(1)<<uint(c)) != 0 {
@@ -287,7 +335,8 @@ func (d *Directory) StateOf(block uint64) (State, []int) {
 // block: Modified/Exclusive imply exactly one holder which is the owner,
 // and Shared implies at least one holder. It returns the first violation.
 func (d *Directory) CheckInvariants() error {
-	for block, e := range d.entries {
+	for block, idx := range d.entries {
+		e := &d.slab[idx]
 		holders := 0
 		for c := 0; c < d.cores; c++ {
 			if e.sharers&(uint64(1)<<uint(c)) != 0 {
@@ -307,7 +356,10 @@ func (d *Directory) CheckInvariants() error {
 				return fmt.Errorf("coherence: block %#x Shared with no holders", block)
 			}
 		case Invalid:
-			return fmt.Errorf("coherence: block %#x tracked while Invalid", block)
+			// Untracked slot retained for reuse: must hold no sharers.
+			if holders != 0 {
+				return fmt.Errorf("coherence: block %#x Invalid with %d holders", block, holders)
+			}
 		}
 	}
 	return nil
@@ -316,5 +368,6 @@ func (d *Directory) CheckInvariants() error {
 // Stats returns a copy of the action counters.
 func (d *Directory) Stats() Stats { return d.stats }
 
-// TrackedBlocks returns the number of blocks with directory state.
-func (d *Directory) TrackedBlocks() int { return len(d.entries) }
+// TrackedBlocks returns the number of blocks with directory state (slots
+// retained in state Invalid for reuse are not counted).
+func (d *Directory) TrackedBlocks() int { return d.live }

@@ -57,6 +57,15 @@ func (b *BranchPredictor) Predict(pc uint64, taken bool) (mispredict bool) {
 // Stats returns a copy of the counters.
 func (b *BranchPredictor) Stats() BranchStats { return b.stats }
 
+// Reset restores every counter to weakly taken and zeroes the statistics, as
+// in a freshly built predictor.
+func (b *BranchPredictor) Reset() {
+	for i := range b.counters {
+		b.counters[i] = 2
+	}
+	b.stats = BranchStats{}
+}
+
 // TLB is a fully associative, true-LRU translation lookaside buffer over
 // fixed-size pages. The recency order is an intrusive doubly-linked list
 // over preallocated nodes, so both hits and evictions are O(1) — the TLB
@@ -181,6 +190,13 @@ func (t *TLB) Flush() {
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() TLBStats { return t.stats }
 
+// Reset flushes all translations and zeroes the statistics (Flush keeps
+// them), matching a freshly built TLB.
+func (t *TLB) Reset() {
+	t.Flush()
+	t.stats = TLBStats{}
+}
+
 // Resident returns the number of valid entries.
 func (t *TLB) Resident() int { return len(t.slots) }
 
@@ -244,11 +260,23 @@ func (g *Gshare) Predict(pc uint64, taken bool) (mispredict bool) {
 // Stats returns a copy of the counters.
 func (g *Gshare) Stats() BranchStats { return g.stats }
 
+// Reset restores the counters to weakly taken and clears the global history
+// and statistics, as in a freshly built predictor.
+func (g *Gshare) Reset() {
+	for i := range g.counters {
+		g.counters[i] = 2
+	}
+	g.history = 0
+	g.stats = BranchStats{}
+}
+
 // Predictor is the interface both branch predictors satisfy, letting the
 // machine select one by configuration.
 type Predictor interface {
 	Predict(pc uint64, taken bool) bool
 	Stats() BranchStats
+	// Reset restores the predictor to its freshly built state.
+	Reset()
 }
 
 // Interface checks.

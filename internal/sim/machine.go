@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/randx"
@@ -66,18 +65,61 @@ type event struct {
 	core int
 }
 
+// eventHeap is a binary min-heap of events ordered by (at, core), inlined
+// rather than going through container/heap: the event loop pushes and pops
+// once per core activation, and the interface-based heap boxes every event
+// into an `any` (one allocation per push) besides the indirect calls.
+// Ordering is a strict total order on distinct events, so the pop sequence —
+// and therefore every simulated outcome — is identical to the old
+// implementation's.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].core < h[j].core // deterministic tie-break
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s.less(r, l) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
 
 // machine wires the full system for one run.
 type machine struct {
@@ -93,8 +135,8 @@ type machine struct {
 	bp   []cpu.Predictor
 	tlb  []*cpu.TLB
 
-	cores    []*coreCtx
-	threads  []*threadCtx
+	cores    []coreCtx
+	threads  []threadCtx
 	ready    []int
 	events   eventHeap
 	locks    map[int]*lockSt
@@ -136,6 +178,10 @@ type machine struct {
 	prefetches     uint64
 }
 
+// defaultProgSeed fixes the program's structural randomness: as in the
+// paper (Sec. 5.2), the benchmark is the same program on every execution.
+const defaultProgSeed = 0x0BEEF
+
 // Run builds the named workload profile at the given scale and executes it
 // on the configured system, returning the execution's metrics and trace.
 //
@@ -143,48 +189,52 @@ type machine struct {
 // execution: the program's structural randomness comes from a fixed seed,
 // and the run seed only drives the injected variability (DRAM jitter, OS
 // noise, the colocation draw) and everything it perturbs.
+//
+// Run executes on a pooled Runner arena, so repeated calls with the same
+// Config reuse machine state instead of reallocating it.
 func Run(profile string, cfg Config, scale float64, seed uint64) (*Result, error) {
-	return RunVariant(profile, cfg, scale, 0x0BEEF, seed)
+	return pooledRun(func(r *Runner) (*Result, error) {
+		return r.Run(profile, cfg, scale, seed)
+	})
 }
 
 // RunVariant is Run with an explicit program-structure seed, for studies
 // that also want distinct program instances (e.g. different inputs).
 func RunVariant(profile string, cfg Config, scale float64, progSeed, seed uint64) (*Result, error) {
-	p, err := workload.ByName(profile)
-	if err != nil {
-		return nil, err
-	}
-	prog := p.Build(scale, randx.New(progSeed))
-	return RunProgram(prog, cfg, randx.New(seed))
+	return pooledRun(func(r *Runner) (*Result, error) {
+		return r.RunVariant(profile, cfg, scale, progSeed, seed)
+	})
 }
 
 // RunProgram executes an instantiated program. The rng must be dedicated
 // to this run; all component substreams are split from it.
 func RunProgram(prog *workload.Program, cfg Config, rng *randx.Rand) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(prog.Threads) == 0 {
-		return nil, fmt.Errorf("sim: program %q has no threads", prog.Name)
-	}
-	m, err := newMachine(prog, cfg, rng)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.run(); err != nil {
-		return nil, err
-	}
-	return m.result(), nil
+	return pooledRun(func(r *Runner) (*Result, error) {
+		return r.RunProgram(prog, cfg, rng)
+	})
 }
 
 func newMachine(prog *workload.Program, cfg Config, rng *randx.Rand) (*machine, error) {
-	m := &machine{
+	m := &machine{}
+	if err := m.build(cfg); err != nil {
+		return nil, err
+	}
+	if err := m.initRun(prog, rng); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// build allocates every structure that depends only on the configuration:
+// caches, directory, interconnect, DRAM, predictors, TLBs, core contexts.
+// It is the expensive half of machine construction; a pooled Runner calls
+// it once per configuration and replays only initRun for subsequent runs.
+func (m *machine) build(cfg Config) error {
+	*m = machine{
 		cfg:      cfg,
-		prog:     prog,
 		locks:    make(map[int]*lockSt),
 		barriers: make(map[int]*barrierSt),
 		queues:   make(map[int]*queueSt),
-		noiseRng: rng.Split(11),
 	}
 	policy := cache.LRU
 	switch cfg.ReplacementPolicy {
@@ -198,12 +248,12 @@ func newMachine(prog *workload.Program, cfg Config, rng *randx.Rand) (*machine, 
 		l1i, err := cache.New(cache.Config{Name: fmt.Sprintf("l1i%d", c),
 			SizeBytes: cfg.L1ISize, Ways: cfg.L1IWays, BlockSize: cfg.BlockSize, Policy: policy})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l1d, err := cache.New(cache.Config{Name: fmt.Sprintf("l1d%d", c),
 			SizeBytes: cfg.L1DSize, Ways: cfg.L1DWays, BlockSize: cfg.BlockSize, Policy: policy})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.l1i = append(m.l1i, l1i)
 		m.l1d = append(m.l1d, l1d)
@@ -214,15 +264,15 @@ func newMachine(prog *workload.Program, cfg Config, rng *randx.Rand) (*machine, 
 		}
 		tlb, err := cpu.NewTLB(cfg.TLBEntries, cfg.PageSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.tlb = append(m.tlb, tlb)
-		m.cores = append(m.cores, &coreCtx{id: c, thread: -1, lastThread: -1})
 	}
+	m.cores = make([]coreCtx, cfg.Cores)
 	m.l2, err = cache.New(cache.Config{Name: "l2",
 		SizeBytes: cfg.L2Size, Ways: cfg.L2Ways, BlockSize: cfg.BlockSize, Policy: policy})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	proto := coherence.MESI
 	if cfg.CoherenceProtocol == "msi" {
@@ -230,65 +280,132 @@ func newMachine(prog *workload.Program, cfg Config, rng *randx.Rand) (*machine, 
 	}
 	m.dir, err = coherence.NewWithProtocol(cfg.Cores, proto)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.xbar, err = noc.New(cfg.Cores, cfg.L2Banks, cfg.NocHopLatency, cfg.LinkBytes)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	// The per-run jitter stream is installed by initRun's dram.Reset; the
+	// placeholder here never draws.
 	m.dram, err = mem.New(mem.Config{
 		BaseLatency: cfg.MemLatency,
 		Jitter:      jitterKind(cfg.JitterMax),
 		JitterMax:   maxInt(cfg.JitterMax, 0),
-	}, rng.Split(12))
-	if err != nil {
-		return nil, err
-	}
+	}, randx.New(0))
+	return err
+}
 
+// initRun resets the machine to the exact state newMachine used to leave it
+// in for (prog, rng): components back to post-New state, per-run RNG streams
+// re-split in the original order, per-run state rebuilt. It is the single
+// code path for both freshly built and reused machines, so reuse cannot
+// diverge from a cold construction.
+func (m *machine) initRun(prog *workload.Program, rng *randx.Rand) error {
+	cfg := &m.cfg
+	m.prog = prog
+	m.noiseRng = rng.Split(11)
+
+	for c := 0; c < cfg.Cores; c++ {
+		m.l1i[c].Reset()
+		m.l1d[c].Reset()
+		m.bp[c].Reset()
+		m.tlb[c].Reset()
+		core := &m.cores[c]
+		core.id = c
+		core.thread = -1
+		core.quantumEnd = 0
+		core.lastThread = -1
+		core.outstanding = core.outstanding[:0]
+	}
+	m.l2.Reset()
+	m.dir.Reset()
+	m.xbar.Reset()
+	m.dram.Reset(rng.Split(12))
+
+	if cap(m.threads) < len(prog.Threads) {
+		m.threads = make([]threadCtx, len(prog.Threads))
+	}
+	m.threads = m.threads[:len(prog.Threads)]
 	for id, g := range prog.Threads {
-		m.threads = append(m.threads, &threadCtx{
+		m.threads[id] = threadCtx{
 			id: id, gen: g, state: tsReady, lastCore: -1,
 			fetchPC: 0x100000 + uint64(id)*0x4000,
-		})
+		}
 	}
+	clear(m.locks)
+	clear(m.barriers)
+	clear(m.queues)
 	for _, q := range prog.Queues {
 		if q.Capacity < 1 {
-			return nil, fmt.Errorf("sim: queue %d capacity %d", q.ID, q.Capacity)
+			return fmt.Errorf("sim: queue %d capacity %d", q.ID, q.Capacity)
 		}
 		m.queues[q.ID] = &queueSt{capacity: q.Capacity}
 	}
 	for _, b := range prog.Barriers {
 		if b.Participants < 1 || b.Participants > len(prog.Threads) {
-			return nil, fmt.Errorf("sim: barrier %d participants %d", b.ID, b.Participants)
+			return fmt.Errorf("sim: barrier %d participants %d", b.ID, b.Participants)
 		}
 		m.barriers[b.ID] = &barrierSt{participants: b.Participants}
 	}
 
 	// Per-run colocation decision (hardware-like configs only).
+	m.colocActive, m.colocSlow = false, 0
 	if cfg.ColocationProb > 0 && m.noiseRng.Bernoulli(cfg.ColocationProb) {
 		m.colocActive = true
 		m.colocSlow = cfg.ColocationFactor
 	}
+
+	m.kernelPtr = 0
 
 	// Per-run address-space layout: each mapping (the shared region and
 	// every thread-private region) lands at its own random page-aligned
 	// offset, as under ASLR. All threads share one layout, so shared data
 	// stays shared.
 	aslrRng := rng.Split(13)
-	m.aslr = make([]uint64, 1+len(prog.Threads))
+	if cap(m.aslr) < 1+len(prog.Threads) {
+		m.aslr = make([]uint64, 1+len(prog.Threads))
+	}
+	m.aslr = m.aslr[:1+len(prog.Threads)]
 	if cfg.ASLRPages > 0 {
 		for i := range m.aslr {
 			m.aslr[i] = uint64(aslrRng.Intn(cfg.ASLRPages)) * uint64(cfg.PageSize)
 		}
+	} else {
+		clear(m.aslr)
 	}
 
 	initTemp := cfg.Thermal.Ambient
 	if cfg.Thermal.Enabled && cfg.Thermal.InitSpread > 0 {
 		initTemp += rng.Split(14).Uniform(0, cfg.Thermal.InitSpread)
 	}
-	m.thermal = newThermalModel(cfg.Thermal, initTemp)
-	m.tracer = newTracer(cfg.SampleInterval, m)
-	return m, nil
+	if m.thermal == nil {
+		m.thermal = &thermalModel{}
+	}
+	m.thermal.init(cfg.Thermal, initTemp)
+	if m.tracer == nil {
+		m.tracer = &tracer{}
+	}
+	m.tracer.init(cfg.SampleInterval, m)
+
+	m.ready = m.ready[:0]
+	m.events = m.events[:0]
+	m.now = 0
+	m.finished = 0
+	m.instructions = 0
+	m.computeCycles = 0
+	m.busyCycles = 0
+	m.mispredictCost = 0
+	m.loads = 0
+	m.loadLatencySum = 0
+	m.loadLatencyMax = 0
+	m.ctxSwitches = 0
+	m.migrations = 0
+	m.preemptions = 0
+	m.osNoiseEvents = 0
+	m.syncWaitCycles = 0
+	m.prefetches = 0
+	return nil
 }
 
 func jitterKind(jitterMax int) mem.JitterKind {
@@ -308,18 +425,18 @@ func maxInt(a, b int) int {
 // run drives the event loop to completion.
 func (m *machine) run() error {
 	// Initial placement: threads fill cores in id order; the rest queue.
-	for _, t := range m.threads {
-		m.ready = append(m.ready, t.id)
+	for i := range m.threads {
+		m.ready = append(m.ready, m.threads[i].id)
 	}
-	for _, c := range m.cores {
+	for i := range m.cores {
 		if len(m.ready) == 0 {
 			break
 		}
-		m.dispatch(c, 0)
+		m.dispatch(&m.cores[i], 0)
 	}
 
 	for len(m.events) > 0 {
-		e := heap.Pop(&m.events).(event)
+		e := m.events.pop()
 		if e.at > m.cfg.MaxCycles {
 			return fmt.Errorf("sim: %q exceeded cycle budget %d", m.prog.Name, m.cfg.MaxCycles)
 		}
@@ -327,7 +444,7 @@ func (m *machine) run() error {
 			m.now = e.at
 			m.tracer.advance(m.now)
 		}
-		m.step(m.cores[e.core], e.at)
+		m.step(&m.cores[e.core], e.at)
 	}
 	if m.finished != len(m.threads) {
 		return fmt.Errorf("sim: deadlock in %q: %d/%d threads finished at cycle %d",
@@ -346,7 +463,7 @@ func (m *machine) step(core *coreCtx, now uint64) {
 		}
 		return
 	}
-	t := m.threads[core.thread]
+	t := &m.threads[core.thread]
 
 	// Preempt at quantum expiry when someone is waiting.
 	if now >= core.quantumEnd && len(m.ready) > 0 {
@@ -528,7 +645,7 @@ func (m *machine) queue(id int) *queueSt {
 
 // continueAt schedules the core's next activation.
 func (m *machine) continueAt(core *coreCtx, at uint64) {
-	heap.Push(&m.events, event{at: at, core: core.id})
+	m.events.push(event{at: at, core: core.id})
 }
 
 // busyFor accounts d busy cycles on the core and schedules its next
@@ -585,20 +702,20 @@ func (m *machine) block(core *coreCtx, t *threadCtx, now uint64) {
 // wake marks a blocked thread runnable at time at, dispatching it onto an
 // idle core (preferring its previous core for affinity) or queueing it.
 func (m *machine) wake(tid int, at uint64) {
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	t.lockWait += at - t.blockedAt
 	m.syncWaitCycles += at - t.blockedAt
 	t.state = tsReady
 	// Prefer the thread's previous core when idle.
 	if t.lastCore >= 0 && m.cores[t.lastCore].thread < 0 {
 		m.ready = append(m.ready, tid)
-		m.dispatch(m.cores[t.lastCore], at)
+		m.dispatch(&m.cores[t.lastCore], at)
 		return
 	}
-	for _, c := range m.cores {
-		if c.thread < 0 {
+	for i := range m.cores {
+		if m.cores[i].thread < 0 {
 			m.ready = append(m.ready, tid)
-			m.dispatch(c, at)
+			m.dispatch(&m.cores[i], at)
 			return
 		}
 	}
@@ -613,7 +730,7 @@ func (m *machine) dispatch(core *coreCtx, now uint64) {
 	}
 	tid := m.ready[0]
 	m.ready = m.ready[1:]
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	t.state = tsRunning
 	core.thread = tid
 

@@ -82,6 +82,15 @@ func New(cfg Config, rng *randx.Rand) (*DRAM, error) {
 	return &DRAM{cfg: cfg, rng: rng, chanBusy: make([]uint64, cfg.Channels)}, nil
 }
 
+// Reset clears channel occupancies and counters and installs a fresh rng
+// stream, returning the model to its post-New state for the next run. The
+// configuration is retained.
+func (d *DRAM) Reset(rng *randx.Rand) {
+	clear(d.chanBusy)
+	d.rng = rng
+	d.stats = Stats{}
+}
+
 // Access schedules a memory access to addr issued at cycle now and returns
 // the completion cycle: queueing on the addr-mapped channel, the base
 // latency, and the injected jitter.

@@ -40,6 +40,14 @@ func New(inPorts, outPorts int, hopLatency uint64, linkBytes int) (*Crossbar, er
 	}, nil
 }
 
+// Reset clears all port occupancies and counters, returning the crossbar to
+// its post-New state so a pooled runner can reuse it.
+func (x *Crossbar) Reset() {
+	clear(x.inBusy)
+	clear(x.outBusy)
+	x.stats = Stats{}
+}
+
 // Transfer schedules a message of size bytes from input port in to output
 // port out starting no earlier than now, and returns the cycle at which the
 // message has fully traversed the crossbar. Port occupancies are advanced,

@@ -26,10 +26,17 @@ type thermalModel struct {
 }
 
 func newThermalModel(cfg ThermalConfig, initTemp float64) *thermalModel {
+	t := &thermalModel{}
+	t.init(cfg, initTemp)
+	return t
+}
+
+// init resets the model for a new run, as in a freshly built one.
+func (t *thermalModel) init(cfg ThermalConfig, initTemp float64) {
 	if initTemp < cfg.Ambient {
 		initTemp = cfg.Ambient
 	}
-	return &thermalModel{cfg: cfg, temp: initTemp}
+	*t = thermalModel{cfg: cfg, temp: initTemp}
 }
 
 // speed returns the current frequency multiplier applied to compute bursts.

@@ -36,12 +36,24 @@ var traceSignalNames = []string{
 }
 
 func newTracer(interval uint64, m *machine) *tracer {
-	tr := &tracer{interval: interval, m: m, nextAt: interval,
-		signals: make(map[string][]float64, len(traceSignalNames))}
-	for _, n := range traceSignalNames {
-		tr.signals[n] = nil
-	}
+	tr := &tracer{}
+	tr.init(interval, m)
 	return tr
+}
+
+// init resets the tracer for a new run, keeping the signal buffers of a
+// reused tracer (truncated to zero length) so sampling stops allocating
+// after the first run. Result traces are safe: stl.Trace.Add copies the
+// values out of these buffers.
+func (t *tracer) init(interval uint64, m *machine) {
+	sig := t.signals
+	if sig == nil {
+		sig = make(map[string][]float64, len(traceSignalNames))
+	}
+	for _, n := range traceSignalNames {
+		sig[n] = sig[n][:0]
+	}
+	*t = tracer{interval: interval, m: m, nextAt: interval, signals: sig}
 }
 
 func (t *tracer) l1dMisses() uint64 {
