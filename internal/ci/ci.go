@@ -14,7 +14,6 @@ import (
 	"sort"
 
 	"repro/internal/numeric"
-	"repro/internal/randx"
 	"repro/internal/stats"
 )
 
@@ -37,8 +36,13 @@ type BootstrapOptions struct {
 	// Resamples is the number of bootstrap resamples B; zero selects 2000.
 	Resamples int
 	// Seed drives the resampling RNG; bootstrap CIs are deterministic
-	// given the seed.
+	// given the seed. Every resample i draws from its own substream split
+	// from (Seed, i), so the result does not depend on scheduling.
 	Seed uint64
+	// Workers bounds the goroutines resampling concurrently; zero selects
+	// GOMAXPROCS, one forces the sequential path. The interval is
+	// byte-identical for every worker count.
+	Workers int
 }
 
 func (o BootstrapOptions) resamples() int {
@@ -48,21 +52,11 @@ func (o BootstrapOptions) resamples() int {
 	return o.Resamples
 }
 
-// bootstrapDistribution draws B resamples (with replacement) and returns
-// the sorted F-quantile statistics.
-func bootstrapDistribution(samples []float64, f float64, b int, r *randx.Rand) []float64 {
-	n := len(samples)
-	thetas := make([]float64, b)
-	buf := make([]float64, n)
-	for i := 0; i < b; i++ {
-		for j := range buf {
-			buf[j] = samples[r.Intn(n)]
-		}
-		sort.Float64s(buf)
-		thetas[i] = stats.QuantileSorted(buf, f)
-	}
-	sort.Float64s(thetas)
-	return thetas
+// sortedCopy returns the sample sorted ascending without mutating it.
+func sortedCopy(samples []float64) []float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return sorted
 }
 
 // BootstrapPercentile builds the plain percentile bootstrap CI for the
@@ -75,13 +69,30 @@ func BootstrapPercentile(samples []float64, f, c float64, opts BootstrapOptions)
 	if len(samples) < 2 {
 		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
 	}
-	r := randx.New(opts.Seed)
-	thetas := bootstrapDistribution(samples, f, opts.resamples(), r)
+	return BootstrapPercentileSorted(sortedCopy(samples), f, c, opts)
+}
+
+// BootstrapPercentileSorted is BootstrapPercentile for a sample the caller
+// has already sorted ascending (callers constructing several CIs from one
+// draw sort once and share the view). The resampling stream draws from the
+// sorted order, so BootstrapPercentile(xs) equals
+// BootstrapPercentileSorted(sortedCopy(xs)) for any permutation of xs.
+func BootstrapPercentileSorted(sorted []float64, f, c float64, opts BootstrapOptions) (stats.Interval, error) {
+	if err := validate(f, c); err != nil {
+		return stats.Interval{}, err
+	}
+	if len(sorted) < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	thetasp := bootstrapDistribution(sorted, f, opts.resamples(), opts.Seed, opts.Workers)
+	thetas := *thetasp
 	alpha := (1 - c) / 2
-	return stats.Interval{
+	iv := stats.Interval{
 		Lo: stats.QuantileSorted(thetas, math.Max(alpha, 1e-12)),
 		Hi: stats.QuantileSorted(thetas, math.Min(1-alpha, 1)),
-	}, nil
+	}
+	putFloats(thetasp)
+	return iv, nil
 }
 
 // BootstrapBCa builds the bias-corrected and accelerated bootstrap CI
@@ -101,18 +112,31 @@ func BootstrapBCa(samples []float64, f, c float64, opts BootstrapOptions) (stats
 	if err := validate(f, c); err != nil {
 		return stats.Interval{}, err
 	}
-	n := len(samples)
+	if len(samples) < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	return BootstrapBCaSorted(sortedCopy(samples), f, c, opts)
+}
+
+// BootstrapBCaSorted is BootstrapBCa for a sample the caller has already
+// sorted ascending; the trial harness sorts each draw once and shares the
+// view across every CI method. The resampling stream draws from the sorted
+// order, so BootstrapBCa(xs) equals BootstrapBCaSorted(sortedCopy(xs)) for
+// any permutation of xs.
+func BootstrapBCaSorted(sorted []float64, f, c float64, opts BootstrapOptions) (stats.Interval, error) {
+	if err := validate(f, c); err != nil {
+		return stats.Interval{}, err
+	}
+	n := len(sorted)
 	if n < 2 {
 		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
 	}
-	thetaHat, err := stats.Quantile(samples, f)
-	if err != nil {
-		return stats.Interval{}, err
-	}
+	thetaHat := stats.QuantileSorted(sorted, f)
 
-	r := randx.New(opts.Seed)
 	b := opts.resamples()
-	thetas := bootstrapDistribution(samples, f, b, r)
+	thetasp := bootstrapDistribution(sorted, f, b, opts.Seed, opts.Workers)
+	defer putFloats(thetasp)
+	thetas := *thetasp
 
 	// Bias correction z0 from the proportion of resample statistics
 	// strictly below the point estimate.
@@ -124,32 +148,15 @@ func BootstrapBCa(samples []float64, f, c float64, opts BootstrapOptions) (stats
 	}
 	z0 := numeric.NormalQuantile(float64(below) / float64(b))
 
-	// Acceleration from the jackknife.
-	jack := make([]float64, n)
-	loo := make([]float64, n-1)
-	for i := 0; i < n; i++ {
-		loo = loo[:0]
-		loo = append(loo, samples[:i]...)
-		loo = append(loo, samples[i+1:]...)
-		q, err := stats.Quantile(loo, f)
-		if err != nil {
-			return stats.Interval{}, err
-		}
-		jack[i] = q
-	}
-	jackMean := stats.Mean(jack)
-	var num, den float64
-	for _, v := range jack {
-		d := jackMean - v
-		num += d * d * d
-		den += d * d
-	}
-	if den == 0 {
+	// Acceleration from the incremental jackknife (see bootstrap.go): the
+	// leave-one-out quantile over the shared sorted array takes only two
+	// distinct values, so no per-left-out re-sorting happens.
+	a, ok := jackknifeAcceleration(sorted, f)
+	if !ok {
 		return stats.Interval{}, fmt.Errorf(
 			"%w: acceleration undefined (all jackknife statistics identical; duplicate-heavy sample)",
 			ErrDegenerate)
 	}
-	a := num / (6 * math.Pow(den, 1.5))
 
 	// Adjusted percentile levels.
 	alpha := (1 - c) / 2
@@ -194,7 +201,21 @@ func RankCI(samples []float64, f, c float64) (stats.Interval, error) {
 	if err := validate(f, c); err != nil {
 		return stats.Interval{}, err
 	}
-	n := len(samples)
+	if len(samples) < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	return RankCISorted(sortedCopy(samples), f, c)
+}
+
+// RankCISorted is RankCI for a sample the caller has already sorted
+// ascending: the selected ranks index the shared view directly, so building
+// several rank CIs (or mixing rank and bootstrap methods) from one draw
+// costs a single sort.
+func RankCISorted(sorted []float64, f, c float64) (stats.Interval, error) {
+	if err := validate(f, c); err != nil {
+		return stats.Interval{}, err
+	}
+	n := len(sorted)
 	if n < 2 {
 		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
 	}
@@ -212,8 +233,6 @@ func RankCI(samples []float64, f, c float64) (stats.Interval, error) {
 	if l > u {
 		return stats.Interval{}, fmt.Errorf("%w: rank bounds crossed (n=%d too small for F=%g)", ErrDegenerate, n, f)
 	}
-	sorted := append([]float64(nil), samples...)
-	sort.Float64s(sorted)
 	return stats.Interval{Lo: sorted[l-1], Hi: sorted[u-1]}, nil
 }
 
@@ -225,7 +244,18 @@ func RankCIExact(samples []float64, f, c float64) (stats.Interval, error) {
 	if err := validate(f, c); err != nil {
 		return stats.Interval{}, err
 	}
-	n := len(samples)
+	if len(samples) < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
+	}
+	return RankCIExactSorted(sortedCopy(samples), f, c)
+}
+
+// RankCIExactSorted is RankCIExact for an already ascending-sorted sample.
+func RankCIExactSorted(sorted []float64, f, c float64) (stats.Interval, error) {
+	if err := validate(f, c); err != nil {
+		return stats.Interval{}, err
+	}
+	n := len(sorted)
 	if n < 2 {
 		return stats.Interval{}, fmt.Errorf("%w: need at least 2 samples", ErrDegenerate)
 	}
@@ -251,8 +281,6 @@ func RankCIExact(samples []float64, f, c float64) (stats.Interval, error) {
 	if l > u {
 		return stats.Interval{}, fmt.Errorf("%w: exact rank bounds crossed (n=%d, F=%g)", ErrDegenerate, n, f)
 	}
-	sorted := append([]float64(nil), samples...)
-	sort.Float64s(sorted)
 	return stats.Interval{Lo: sorted[l-1], Hi: sorted[u-1]}, nil
 }
 

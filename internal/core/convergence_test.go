@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/smc"
+)
+
+// linearConvergenceBounds is the O(N) reference convergenceBounds replaced
+// with binary searches: scan every satisfied count and take the largest with
+// a converged negative verdict and the smallest with a converged positive
+// one. Scanning the full range (rather than stopping at the first failure)
+// also re-checks the contiguity the binary searches rely on.
+func linearConvergenceBounds(n int, f, c float64) (mNeg, mPos int) {
+	mNeg, mPos = -1, n+1
+	for m := 0; m <= n; m++ {
+		a, conf := smc.Confidence(m, n, f)
+		if a == smc.Negative && conf >= c {
+			if mNeg != m-1 {
+				panic("negative-side convergence region is not a prefix")
+			}
+			mNeg = m
+		}
+		if a == smc.Positive && conf >= c && m < mPos {
+			mPos = m
+		}
+	}
+	return mNeg, mPos
+}
+
+// TestConvergenceBoundsMatchesLinearScan pins the binary-search
+// convergenceBounds against the linear reference over a grid of sample
+// sizes, proportions, and confidence levels, including error cases.
+func TestConvergenceBoundsMatchesLinearScan(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 22, 29, 100, 500, 1000} {
+		for _, f := range []float64{0.1, 0.5, 0.8, 0.9, 0.95, 0.99} {
+			for _, c := range []float64{0.9, 0.95, 0.99} {
+				mNeg, mPos, err := convergenceBounds(n, f, c)
+				// The endpoint checks define feasibility: M=0 must assert
+				// negative and M=N positive at confidence ≥ c.
+				aNeg, confNeg := smc.Confidence(0, n, f)
+				aPos, confPos := smc.Confidence(n, n, f)
+				feasible := aNeg == smc.Negative && confNeg >= c &&
+					aPos == smc.Positive && confPos >= c
+				if !feasible {
+					if err == nil {
+						t.Errorf("n=%d f=%g c=%g: want error for infeasible instance, got (%d, %d)", n, f, c, mNeg, mPos)
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("n=%d f=%g c=%g: unexpected error %v", n, f, c, err)
+					continue
+				}
+				wantNeg, wantPos := linearConvergenceBounds(n, f, c)
+				if mNeg != wantNeg || mPos != wantPos {
+					t.Errorf("n=%d f=%g c=%g: got (%d, %d), linear scan (%d, %d)",
+						n, f, c, mNeg, mPos, wantNeg, wantPos)
+				}
+			}
+		}
+	}
+}
+
+// TestThresholdSweepMatchesHypothesisTest pins the binary-search satisfied
+// counts of ThresholdSweepSorted against HypothesisTest's predicate scan on
+// the unsorted sample, in both property directions, at thresholds on, off,
+// between, and outside the sample values (including exact duplicates).
+func TestThresholdSweepMatchesHypothesisTest(t *testing.T) {
+	r := randx.New(31)
+	xs := make([]float64, 60)
+	for i := range xs {
+		xs[i] = math.Round(r.Normal(10, 2)*4) / 4 // quarter-grid: many ties
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var thresholds []float64
+	for _, v := range sorted[:20] {
+		thresholds = append(thresholds, v, v+1e-9, v-1e-9, v+0.125)
+	}
+	thresholds = append(thresholds, sorted[0]-1, sorted[len(sorted)-1]+1)
+
+	for _, dir := range []Direction{AtMost, AtLeast} {
+		p := Params{F: 0.9, C: 0.9, Direction: dir}
+		pts, err := ThresholdSweep(xs, thresholds, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptsSorted, err := ThresholdSweepSorted(sorted, thresholds, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range thresholds {
+			res, err := HypothesisTest(xs, v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pts[i].Satisfied != res.Satisfied || pts[i].Assertion != res.Assertion {
+				t.Errorf("%v threshold %v: sweep (M=%d, %v), hypothesis test (M=%d, %v)",
+					dir, v, pts[i].Satisfied, pts[i].Assertion, res.Satisfied, res.Assertion)
+			}
+			if ptsSorted[i] != pts[i] {
+				t.Errorf("%v threshold %v: ThresholdSweepSorted %+v differs from ThresholdSweep %+v",
+					dir, v, ptsSorted[i], pts[i])
+			}
+		}
+	}
+}
+
+// TestConfidenceIntervalSortedMatchesUnsorted checks the sorted entry point
+// agrees with the copy-and-sort one in both directions.
+func TestConfidenceIntervalSortedMatchesUnsorted(t *testing.T) {
+	r := randx.New(8)
+	xs := make([]float64, 80)
+	for i := range xs {
+		xs[i] = r.Normal(5, 1)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, dir := range []Direction{AtMost, AtLeast} {
+		p := Params{F: 0.9, C: 0.9, Direction: dir}
+		want, err := ConfidenceInterval(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ConfidenceIntervalSorted(sorted, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.Lo) != math.Float64bits(want.Lo) ||
+			math.Float64bits(got.Hi) != math.Float64bits(want.Hi) {
+			t.Errorf("%v: sorted entry %v, unsorted %v", dir, got, want)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/numeric"
 	"repro/internal/smc"
@@ -120,43 +122,78 @@ func ConfidenceInterval(samples []float64, p Params) (stats.Interval, error) {
 	if err := p.validate(); err != nil {
 		return stats.Interval{}, err
 	}
-	if p.Direction == AtLeast {
-		// φ: x ≥ v  ⟺  (−x) ≤ (−v); reflect, solve AtMost, reflect back.
-		neg := make([]float64, len(samples))
-		for i, x := range samples {
-			neg[i] = -x
-		}
-		q := p
-		q.Direction = AtMost
-		iv, err := ConfidenceInterval(neg, q)
-		if err != nil {
-			return stats.Interval{}, err
-		}
-		return stats.Interval{Lo: -iv.Hi, Hi: -iv.Lo}, nil
+	if len(samples) == 0 {
+		return stats.Interval{}, fmt.Errorf("%w: empty sample", ErrInsufficientSamples)
 	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return ConfidenceIntervalSorted(sorted, p)
+}
 
-	n := len(samples)
+// ConfidenceIntervalSorted is ConfidenceInterval for a sample the caller
+// has already sorted ascending. Trial harnesses that build several CIs from
+// the same draw sort once and share the view; the construction itself is
+// pure order-statistic indexing, so no copy and no re-sort happens here.
+// The AtLeast direction reads the reflected order statistics directly
+// (x ≥ v ⟺ −x ≤ −v, and negating an ascending array reverses it), which is
+// exactly the reflect–solve–reflect of the AtMost construction without
+// materializing the negated sample.
+func ConfidenceIntervalSorted(sorted []float64, p Params) (stats.Interval, error) {
+	if err := p.validate(); err != nil {
+		return stats.Interval{}, err
+	}
+	n := len(sorted)
 	mNeg, mPos, err := convergenceBounds(n, p.F, p.sideLevel())
 	if err != nil {
 		return stats.Interval{}, err
 	}
-	sorted := append([]float64(nil), samples...)
-	sort.Float64s(sorted)
+	if p.Direction == AtLeast {
+		return stats.Interval{Lo: sorted[n-mPos], Hi: sorted[n-1-mNeg]}, nil
+	}
 	return stats.Interval{Lo: sorted[mNeg], Hi: sorted[mPos-1]}, nil
 }
+
+// convergenceKey memoizes convergenceBounds: every trial of a CI-evaluation
+// campaign re-solves the identical (n, f, c) instance, and the bounds are a
+// pure function of the key.
+type convergenceKey struct {
+	n    int
+	f, c float64
+}
+
+type convergenceVal struct{ mNeg, mPos int }
+
+var (
+	convergenceCache     sync.Map // convergenceKey → convergenceVal
+	convergenceCacheSize atomic.Int64
+)
+
+// convergenceCacheCap bounds the memo; past it, instances are solved
+// without being stored (campaigns use a handful of keys, so the cap exists
+// only as a leak guard).
+const convergenceCacheCap = 1 << 12
 
 // convergenceBounds returns mNeg (largest satisfied-count with a converged
 // negative verdict) and mPos (smallest with a converged positive verdict)
 // for sample size n. Convergence means C_CP ≥ c (see the note on
 // smc.CheckFixed). It returns ErrInsufficientSamples when either side
 // cannot converge at all.
+//
+// The negative-side confidence decreases as M grows toward F·N and the
+// positive side decreases as M shrinks toward it (both are tails of the
+// monotone BetaCDF), so each boundary is found by binary search — O(log N)
+// beta evaluations instead of the former O(N) scans — and successful
+// results are memoized by (n, f, c). TestConvergenceBoundsMatchesLinearScan
+// pins equivalence with the linear reference.
 func convergenceBounds(n int, f, c float64) (mNeg, mPos int, err error) {
 	if n == 0 {
 		return 0, 0, fmt.Errorf("%w: empty sample", ErrInsufficientSamples)
 	}
-	// Negative-side confidence decreases as M grows toward F·N, so scan up
-	// from 0; positive-side confidence decreases as M shrinks toward F·N,
-	// so scan down from N. Both scans are O(N) with O(1) beta evaluations.
+	key := convergenceKey{n: n, f: f, c: c}
+	if v, ok := convergenceCache.Load(key); ok {
+		cv := v.(convergenceVal)
+		return cv.mNeg, cv.mPos, nil
+	}
 	if a, conf := smc.Confidence(0, n, f); a != smc.Negative || conf < c {
 		return 0, 0, fmt.Errorf("%w: even M=0 cannot assert negative at C=%v with N=%d (need %s)",
 			ErrInsufficientSamples, c, n, minSamplesHint(f, c))
@@ -165,21 +202,24 @@ func convergenceBounds(n int, f, c float64) (mNeg, mPos int, err error) {
 		return 0, 0, fmt.Errorf("%w: even M=N cannot assert positive at C=%v with N=%d (need %s)",
 			ErrInsufficientSamples, c, n, minSamplesHint(f, c))
 	}
-	mNeg = 0
-	for m := 1; m <= n; m++ {
+	// negOK holds on the contiguous prefix [0, mNeg]; sort.Search finds the
+	// first m where it fails.
+	negOK := func(m int) bool {
 		a, conf := smc.Confidence(m, n, f)
-		if a != smc.Negative || conf < c {
-			break
-		}
-		mNeg = m
+		return a == smc.Negative && conf >= c
 	}
-	mPos = n
-	for m := n - 1; m >= 0; m-- {
+	mNeg = sort.Search(n+1, func(m int) bool { return !negOK(m) }) - 1
+	// posOK holds on the contiguous suffix [mPos, n]; sort.Search finds its
+	// first member.
+	posOK := func(m int) bool {
 		a, conf := smc.Confidence(m, n, f)
-		if a != smc.Positive || conf < c {
-			break
+		return a == smc.Positive && conf >= c
+	}
+	mPos = sort.Search(n+1, posOK)
+	if convergenceCacheSize.Load() < convergenceCacheCap {
+		if _, loaded := convergenceCache.LoadOrStore(key, convergenceVal{mNeg: mNeg, mPos: mPos}); !loaded {
+			convergenceCacheSize.Add(1)
 		}
-		mPos = m
 	}
 	return mNeg, mPos, nil
 }
@@ -249,17 +289,46 @@ func ThresholdSweep(samples []float64, thresholds []float64, p Params) ([]Thresh
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	if len(samples) == 0 {
+		return nil, errors.New("core: threshold sweep over an empty sample")
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return ThresholdSweepSorted(sorted, thresholds, p)
+}
+
+// ThresholdSweepSorted is ThresholdSweep for an already ascending-sorted
+// sample: the satisfied count at each threshold comes from one binary
+// search over the sorted view instead of an O(N) predicate scan, and the
+// verdict from a single Clopper–Pearson evaluation — exactly the counts and
+// assertions HypothesisTest produces on the unsorted sample.
+func ThresholdSweepSorted(sorted []float64, thresholds []float64, p Params) ([]ThresholdPoint, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(sorted)
+	if n == 0 {
+		return nil, errors.New("core: threshold sweep over an empty sample")
+	}
 	out := make([]ThresholdPoint, len(thresholds))
 	for i, v := range thresholds {
-		res, err := HypothesisTest(samples, v, p)
-		if err != nil {
-			return nil, err
+		var m int
+		if p.Direction == AtLeast {
+			// #{x ≥ v} = n − #{x < v}.
+			m = n - sort.Search(n, func(j int) bool { return sorted[j] >= v })
+		} else {
+			// #{x ≤ v}.
+			m = sort.Search(n, func(j int) bool { return sorted[j] > v })
+		}
+		assertion, conf := smc.Confidence(m, n, p.F)
+		if conf < p.C {
+			assertion = smc.Inconclusive
 		}
 		out[i] = ThresholdPoint{
 			Threshold:    v,
-			Satisfied:    res.Satisfied,
-			PositiveConf: PositiveConfidence(res.Satisfied, res.Samples, p.F),
-			Assertion:    res.Assertion,
+			Satisfied:    m,
+			PositiveConf: PositiveConfidence(m, n, p.F),
+			Assertion:    assertion,
 		}
 	}
 	return out, nil

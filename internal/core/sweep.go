@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/smc"
 	"repro/internal/stats"
@@ -39,7 +40,12 @@ func ConfidenceIntervalSweep(samples []float64, p Params) (stats.Interval, error
 	side.C = p.sideLevel()
 	side.Composition = PerSideC
 
-	lo, hi, _ := stats.MinMax(samples)
+	// One sort up front serves the walk's satisfied counts (binary search
+	// per step), the extrema, and the initial estimate.
+	sorted := append([]float64(nil), samples...)
+	stats.SortFloats(sorted)
+
+	lo, hi := sorted[0], sorted[len(sorted)-1]
 	g := p.Granularity
 	if g <= 0 {
 		if hi > lo {
@@ -51,14 +57,21 @@ func ConfidenceIntervalSweep(samples []float64, p Params) (stats.Interval, error
 	}
 
 	// V0: the empirical value at the proportion of interest.
-	v0 := initialEstimate(samples, p)
+	v0 := initialEstimate(sorted, p)
 
+	n := len(sorted)
 	test := func(v float64) smc.Assertion {
-		res, err := HypothesisTest(samples, v, side)
-		if err != nil {
+		var m int
+		if p.Direction == AtLeast {
+			m = n - sort.Search(n, func(j int) bool { return sorted[j] >= v })
+		} else {
+			m = sort.Search(n, func(j int) bool { return sorted[j] > v })
+		}
+		a, conf := smc.Confidence(m, n, side.F)
+		if conf < side.C {
 			return smc.Inconclusive
 		}
-		return res.Assertion
+		return a
 	}
 
 	// For AtMost, the assertion is monotone in v: Negative for small
@@ -104,8 +117,8 @@ func ConfidenceIntervalSweep(samples []float64, p Params) (stats.Interval, error
 
 // initialEstimate picks V0 for the sweep: the empirical sample value at the
 // proportion the property targets, which always lies inside or adjacent to
-// the None band.
-func initialEstimate(samples []float64, p Params) float64 {
+// the None band. The sample must already be sorted ascending.
+func initialEstimate(sorted []float64, p Params) float64 {
 	f := p.F
 	if p.Direction == AtLeast {
 		f = 1 - p.F
@@ -113,9 +126,8 @@ func initialEstimate(samples []float64, p Params) float64 {
 			f = math.SmallestNonzeroFloat64
 		}
 	}
-	v, err := stats.Quantile(samples, f)
-	if err != nil {
-		return samples[0]
+	if f > 1 {
+		f = 1
 	}
-	return v
+	return stats.QuantileSorted(sorted, f)
 }

@@ -120,7 +120,16 @@ type Engine struct {
 	cache *popcache.Cache
 
 	mu   sync.Mutex
-	pops map[string]*population.Population
+	pops map[string]*popEntry
+}
+
+// popEntry is one population slot. The sync.Once gives concurrent figure
+// cells single-flight semantics: when two cells need the same population,
+// one simulates and the other waits, instead of both simulating.
+type popEntry struct {
+	once sync.Once
+	pop  *population.Population
+	err  error
 }
 
 // SetObserver attaches campaign telemetry: per-simulation spans/counters
@@ -164,14 +173,17 @@ func NewEngine(opts Options) *Engine {
 	if opts.Seed == 0 {
 		opts.Seed = def.Seed
 	}
-	return &Engine{opts: opts, pops: make(map[string]*population.Population)}
+	return &Engine{opts: opts, pops: make(map[string]*popEntry)}
 }
 
 // Options returns the engine's effective options.
 func (e *Engine) Options() Options { return e.opts }
 
 // Population returns (generating and caching on first use) the population
-// of the benchmark under the given system variant.
+// of the benchmark under the given system variant. Concurrent callers of
+// the same (benchmark, variant) share one generation — the figure engine
+// fans out across cells, and duplicate simulation would waste the whole
+// win — while different keys generate independently.
 func (e *Engine) Population(bench string, v Variant) (*population.Population, error) {
 	runs := e.opts.Runs
 	if v == VariantHardware {
@@ -179,38 +191,35 @@ func (e *Engine) Population(bench string, v Variant) (*population.Population, er
 	}
 	key := fmt.Sprintf("%s/%s/%d", bench, v, runs)
 	e.mu.Lock()
-	pop, ok := e.pops[key]
+	entry, ok := e.pops[key]
+	if !ok {
+		entry = &popEntry{}
+		e.pops[key] = entry
+	}
 	e.mu.Unlock()
-	if ok {
-		return pop, nil
-	}
-	ck := popcache.Key{
-		Benchmark: bench,
-		Config:    v.Config(),
-		Scale:     e.opts.Scale,
-		BaseSeed:  e.opts.Seed*1_000_003 + uint64(v)*1009,
-		Runs:      runs,
-	}
-	if pop := e.cache.Get(ck); pop != nil {
-		e.obs.Logf("population cache hit for %s/%s: %d runs", bench, v, runs)
-		e.mu.Lock()
-		e.pops[key] = pop
-		e.mu.Unlock()
-		return pop, nil
-	}
-	e.obs.Logf("simulating %s/%s: %d runs", bench, v, runs)
-	e.obs.P().AddTotal(runs)
-	pop, err := population.GenerateHooked(bench, v.Config(), e.opts.Scale, runs,
-		ck.BaseSeed, e.opts.Parallelism,
-		population.ObserverHooks(e.obs, bench))
-	if err != nil {
-		return nil, err
-	}
-	_ = e.cache.Put(ck, pop)
-	e.mu.Lock()
-	e.pops[key] = pop
-	e.mu.Unlock()
-	return pop, nil
+	entry.once.Do(func() {
+		ck := popcache.Key{
+			Benchmark: bench,
+			Config:    v.Config(),
+			Scale:     e.opts.Scale,
+			BaseSeed:  e.opts.Seed*1_000_003 + uint64(v)*1009,
+			Runs:      runs,
+		}
+		if pop := e.cache.Get(ck); pop != nil {
+			e.obs.Logf("population cache hit for %s/%s: %d runs", bench, v, runs)
+			entry.pop = pop
+			return
+		}
+		e.obs.Logf("simulating %s/%s: %d runs", bench, v, runs)
+		e.obs.P().AddTotal(runs)
+		entry.pop, entry.err = population.GenerateHooked(bench, v.Config(), e.opts.Scale, runs,
+			ck.BaseSeed, e.opts.Parallelism,
+			population.ObserverHooks(e.obs, bench))
+		if entry.err == nil {
+			_ = e.cache.Put(ck, entry.pop)
+		}
+	})
+	return entry.pop, entry.err
 }
 
 // Method identifies a CI construction technique in comparisons.
@@ -241,17 +250,21 @@ type MethodEval struct {
 }
 
 // buildCI constructs one CI with the given method; a nil interval with nil
-// error means the method abstained (Null).
-func (e *Engine) buildCI(method Method, xs []float64, f, c float64, trialSeed uint64) (*stats.Interval, error) {
+// error means the method abstained (Null). The caller supplies both the
+// sample in draw order (xs) and an ascending-sorted view of the same values
+// (sorted): every trial evaluates several methods on one draw, and sorting
+// once per draw instead of once per method is where the per-trial time
+// goes. Z-score is the only moment-based method and keeps the raw view.
+func (e *Engine) buildCI(method Method, xs, sorted []float64, f, c float64, trialSeed uint64) (*stats.Interval, error) {
 	switch method {
 	case MethodSPA:
-		iv, err := core.ConfidenceInterval(xs, core.Params{F: f, C: c})
+		iv, err := core.ConfidenceIntervalSorted(sorted, core.Params{F: f, C: c})
 		if err != nil {
 			return nil, err
 		}
 		return &iv, nil
 	case MethodBootstrap:
-		iv, err := ci.BootstrapBCa(xs, f, c, ci.BootstrapOptions{Resamples: e.opts.Resamples, Seed: trialSeed})
+		iv, err := ci.BootstrapBCaSorted(sorted, f, c, ci.BootstrapOptions{Resamples: e.opts.Resamples, Seed: trialSeed})
 		if errors.Is(err, ci.ErrDegenerate) {
 			return nil, nil
 		}
@@ -260,7 +273,7 @@ func (e *Engine) buildCI(method Method, xs []float64, f, c float64, trialSeed ui
 		}
 		return &iv, nil
 	case MethodRank:
-		iv, err := ci.RankCI(xs, f, c)
+		iv, err := ci.RankCISorted(sorted, f, c)
 		if errors.Is(err, ci.ErrDegenerate) {
 			return nil, nil
 		}
@@ -280,6 +293,58 @@ func (e *Engine) buildCI(method Method, xs []float64, f, c float64, trialSeed ui
 	default:
 		return nil, fmt.Errorf("exp: unknown method %q", method)
 	}
+}
+
+// runCells runs fn(0..n-1) on a bounded worker pool and returns the error
+// from the smallest failing cell index, so a fan-out failure is reported
+// identically regardless of scheduling. Figure and table builders use it to
+// evaluate independent (benchmark, metric) cells concurrently: each cell
+// writes into its own index of a pre-sized result slice, which keeps output
+// ordering deterministic by construction.
+func (e *Engine) runCells(n int, fn func(cell int) error) error {
+	workers := e.opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for cell := 0; cell < n; cell++ {
+			if err := fn(cell); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg      sync.WaitGroup
+		next    int64
+		mu      sync.Mutex
+		errCell = n
+		errVal  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				cell := int(atomic.AddInt64(&next, 1)) - 1
+				if cell >= n {
+					return
+				}
+				if err := fn(cell); err != nil {
+					mu.Lock()
+					if cell < errCell {
+						errCell, errVal = cell, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errVal
 }
 
 // trialSamples returns the per-trial sample count for proportion f at
@@ -337,6 +402,9 @@ func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c floa
 			defer wg.Done()
 			local := make([]MethodEval, len(methods))
 			localWidth := make([]float64, len(methods))
+			// One sorted scratch buffer per worker: each trial sorts its
+			// draw once and every method reads the sorted view.
+			var sortedBuf []float64
 			for {
 				trial := int(atomic.AddInt64(&next, 1)) - 1
 				if trial >= e.opts.Trials {
@@ -352,8 +420,10 @@ func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c floa
 					mu.Unlock()
 					return
 				}
+				sortedBuf = append(sortedBuf[:0], xs...)
+				sort.Float64s(sortedBuf)
 				for i, m := range methods {
-					iv, err := e.buildCI(m, xs, f, c, uint64(trial)*7919+uint64(i))
+					iv, err := e.buildCI(m, xs, sortedBuf, f, c, uint64(trial)*7919+uint64(i))
 					if err != nil {
 						mu.Lock()
 						if firstErr == nil {

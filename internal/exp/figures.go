@@ -46,8 +46,10 @@ func (e *Engine) distributionFigure(id string, v Variant, title string) (*Table,
 	for i, c := range hist.Counts {
 		t.AddRow(f6(hist.BinCenter(i)), fmt.Sprintf("%d", c), bars[i])
 	}
-	q50, _ := stats.Quantile(xs, 0.5)
-	q90, _ := stats.Quantile(xs, 0.9)
+	sorted := append([]float64(nil), xs...)
+	stats.SortFloats(sorted)
+	q50 := stats.QuantileSorted(sorted, 0.5)
+	q90 := stats.QuantileSorted(sorted, 0.9)
 	t.Note("proportion values (dashed lines in the paper): F=0.5 → %s s, F=0.9 → %s s", f6(q50), f6(q90))
 	t.Note("population: %d runs; CoV = %s", len(xs), f4(stats.CoefficientOfVariation(xs)))
 	return t, nil
@@ -59,9 +61,12 @@ func (e *Engine) distributionFigure(id string, v Variant, title string) (*Table,
 // pairing population.
 type speedupContext struct {
 	samples []float64
-	truth   float64
-	n       int
-	params  core.Params
+	// sorted is the ascending view of samples; Fig. 4 and Fig. 5 each run
+	// several order-statistic constructions over the same draw.
+	sorted []float64
+	truth  float64
+	n      int
+	params core.Params
 }
 
 func (e *Engine) speedupContext() (*speedupContext, error) {
@@ -102,7 +107,9 @@ func (e *Engine) speedupContext() (*speedupContext, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &speedupContext{samples: xs, truth: truth, n: n, params: params}, nil
+	sorted := append([]float64(nil), xs...)
+	stats.SortFloats(sorted)
+	return &speedupContext{samples: xs, sorted: sorted, truth: truth, n: n, params: params}, nil
 }
 
 // Fig4 reproduces Figure 4: the per-threshold SMC confidence sweep for the
@@ -113,7 +120,7 @@ func (e *Engine) Fig4() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	iv, err := core.ConfidenceInterval(sc.samples, sc.params)
+	iv, err := core.ConfidenceIntervalSorted(sc.sorted, sc.params)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +138,7 @@ func (e *Engine) Fig4() (*Table, error) {
 	// None band matches the constructed interval.
 	side := sc.params
 	side.C = 1 - (1-sc.params.C)/2
-	pts, err := core.ThresholdSweep(sc.samples, thresholds, side)
+	pts, err := core.ThresholdSweepSorted(sc.sorted, thresholds, side)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +179,7 @@ func (e *Engine) Fig5() (*Table, error) {
 		iv := stats.Interval{Lo: lo, Hi: hi}
 		t.AddRow(string(name), f4(lo), f4(hi), f4(iv.Width()), fmt.Sprintf("%v", iv.Contains(sc.truth)))
 	}
-	spaIV, err := core.ConfidenceInterval(sc.samples, sc.params)
+	spaIV, err := core.ConfidenceIntervalSorted(sc.sorted, sc.params)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +189,7 @@ func (e *Engine) Fig5() (*Table, error) {
 		if m == MethodZScore {
 			f = 0.5 // the Z-score CI has no quantile parameter
 		}
-		iv, err := e.buildCI(m, sc.samples, f, sc.params.C, e.opts.Seed^0xF15)
+		iv, err := e.buildCI(m, sc.samples, sc.sorted, f, sc.params.C, e.opts.Seed^0xF15)
 		if err != nil {
 			return nil, err
 		}
@@ -212,20 +219,31 @@ func (e *Engine) metricFigure(id, title string, f float64, methods []Method, wid
 		}
 	}
 	t := &Table{ID: id, Title: title, Columns: cols}
-	var all [][]MethodEval
-	for _, metric := range ferretMetrics {
+	// Metric cells are independent campaigns over the same population, so
+	// they fan out; each cell writes its own slot and the rows are emitted
+	// in metric order afterwards, keeping the table deterministic.
+	all := make([][]MethodEval, len(ferretMetrics))
+	err = e.runCells(len(ferretMetrics), func(cell int) error {
+		metric := ferretMetrics[cell]
 		var evals []MethodEval
+		var cellErr error
 		if rounded > 0 {
-			evals, err = e.EvaluateCIRounded(pop, metric, f, 0.9, methods, rounded)
+			evals, cellErr = e.EvaluateCIRounded(pop, metric, f, 0.9, methods, rounded)
 		} else {
-			evals, err = e.EvaluateCI(pop, metric, f, 0.9, methods)
+			evals, cellErr = e.EvaluateCI(pop, metric, f, 0.9, methods)
 		}
-		if err != nil {
-			return nil, err
+		if cellErr != nil {
+			return cellErr
 		}
-		all = append(all, evals)
+		all[cell] = evals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for cell, metric := range ferretMetrics {
 		row := []string{metric}
-		for _, ev := range evals {
+		for _, ev := range all[cell] {
 			if width {
 				row = append(row, f4(ev.MeanNormWidth))
 			} else {
@@ -286,19 +304,27 @@ func (e *Engine) benchmarkFigure(id, title, metric string, width bool) (*Table, 
 		}
 	}
 	t := &Table{ID: id, Title: title, Columns: cols}
-	var all [][]MethodEval
-	for _, bench := range benchmarks {
-		pop, err := e.Population(bench, VariantDefault)
-		if err != nil {
-			return nil, err
+	// Benchmark cells fan out like metric cells; the popEntry single-flight
+	// in Population keeps concurrent cells from duplicating simulations.
+	all := make([][]MethodEval, len(benchmarks))
+	err := e.runCells(len(benchmarks), func(cell int) error {
+		pop, cellErr := e.Population(benchmarks[cell], VariantDefault)
+		if cellErr != nil {
+			return cellErr
 		}
-		evals, err := e.EvaluateCI(pop, metric, 0.9, 0.9, methods)
-		if err != nil {
-			return nil, err
+		evals, cellErr := e.EvaluateCI(pop, metric, 0.9, 0.9, methods)
+		if cellErr != nil {
+			return cellErr
 		}
-		all = append(all, evals)
+		all[cell] = evals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for cell, bench := range benchmarks {
 		row := []string{bench}
-		for _, ev := range evals {
+		for _, ev := range all[cell] {
 			if width {
 				row = append(row, f4(ev.MeanNormWidth))
 			} else {
@@ -372,14 +398,17 @@ func (e *Engine) Fig14() (*Table, error) {
 		sums := make([]float64, len(methods))
 		counts := make([]int, len(methods))
 		root := randx.New(e.opts.Seed ^ 0xF14)
+		var sortedBuf []float64
 		for trial := 0; trial < e.opts.Fig14Trials; trial++ {
 			r := root.Split(uint64(trial))
 			xs, err := pop.Sample(metric, n, r)
 			if err != nil {
 				return nil, err
 			}
+			sortedBuf = append(sortedBuf[:0], xs...)
+			stats.SortFloats(sortedBuf)
 			for i, m := range methods {
-				iv, err := e.buildCI(m, xs, 0.5, conf, uint64(trial)*31+uint64(i))
+				iv, err := e.buildCI(m, xs, sortedBuf, 0.5, conf, uint64(trial)*31+uint64(i))
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,46 @@
+package numeric
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// betaQuantileKey identifies one inversion. The SMC engine's inversions are
+// keyed by integer counts and a confidence level — BetaQuantile(α/2, M,
+// N−M+1) and friends — so the float triple is exact and collision-free for
+// every (n, m, c) the callers can produce.
+type betaQuantileKey struct{ p, a, b float64 }
+
+var (
+	betaQuantileCache     sync.Map // betaQuantileKey → float64
+	betaQuantileCacheSize atomic.Int64
+)
+
+// betaQuantileCacheCap bounds the memo. Campaigns revisit a small set of
+// (n, m, c) triples thousands of times (every trial at the same sample size
+// hits the same inversions), so a few thousand entries cover the working
+// set; past the cap new triples are computed without being stored, which
+// keeps the cache O(1)-bounded without eviction machinery.
+const betaQuantileCacheCap = 1 << 13
+
+// BetaQuantileCached is BetaQuantile through a concurrent memo. The cache
+// stores the value BetaQuantile computed — it never recomputes along a
+// different path — so cached and uncached results are bit-identical
+// (pinned by TestBetaQuantileCachedBitIdentical). Domain errors are
+// returned without populating the cache.
+func BetaQuantileCached(p, a, b float64) (float64, error) {
+	key := betaQuantileKey{p: p, a: a, b: b}
+	if v, ok := betaQuantileCache.Load(key); ok {
+		return v.(float64), nil
+	}
+	v, err := BetaQuantile(p, a, b)
+	if err != nil {
+		return v, err
+	}
+	if betaQuantileCacheSize.Load() < betaQuantileCacheCap {
+		if _, loaded := betaQuantileCache.LoadOrStore(key, v); !loaded {
+			betaQuantileCacheSize.Add(1)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,90 @@
+package numeric
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBetaQuantileCachedBitIdentical pins the cache's contract: the memoized
+// value is the exact float64 BetaQuantile computed — cached and uncached
+// results agree to the last bit, on first call (miss) and on repeat (hit).
+func TestBetaQuantileCachedBitIdentical(t *testing.T) {
+	// The grid mirrors the Clopper–Pearson callers: integer m out of n at a
+	// handful of confidence levels.
+	for _, n := range []int{5, 22, 100, 1000} {
+		for _, m := range []int{1, n / 2, n - 1} {
+			for _, c := range []float64{0.9, 0.95, 0.99} {
+				alpha := 1 - c
+				for _, args := range [][3]float64{
+					{alpha / 2, float64(m), float64(n-m) + 1},
+					{1 - alpha/2, float64(m) + 1, float64(n - m)},
+				} {
+					want, err := BetaQuantile(args[0], args[1], args[2])
+					if err != nil {
+						t.Fatalf("BetaQuantile(%v): %v", args, err)
+					}
+					for pass := 0; pass < 2; pass++ { // miss, then hit
+						got, err := BetaQuantileCached(args[0], args[1], args[2])
+						if err != nil {
+							t.Fatalf("BetaQuantileCached(%v) pass %d: %v", args, pass, err)
+						}
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("BetaQuantileCached(%v) pass %d = %x, uncached %x",
+								args, pass, math.Float64bits(got), math.Float64bits(want))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBetaQuantileCachedConcurrent hammers one key and a spread of keys from
+// many goroutines; every result must equal the uncached value (run under
+// -race in CI).
+func TestBetaQuantileCachedConcurrent(t *testing.T) {
+	want, err := BetaQuantile(0.05, 11, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := BetaQuantileCached(0.05, 11, 12)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("goroutine %d: got %x, want %x", g, math.Float64bits(got), math.Float64bits(want))
+					return
+				}
+				// A per-goroutine key keeps store traffic flowing too.
+				if _, err := BetaQuantileCached(0.025, float64(g+1), float64(i+1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestBetaQuantileCachedErrors checks domain errors pass through uncached.
+func TestBetaQuantileCachedErrors(t *testing.T) {
+	if _, err := BetaQuantileCached(-0.1, 2, 3); err == nil {
+		t.Error("p<0 should error")
+	}
+	if _, err := BetaQuantileCached(0.5, 0, 3); err == nil {
+		t.Error("a=0 should error")
+	}
+}

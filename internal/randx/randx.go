@@ -58,16 +58,27 @@ func New(seed uint64) *Rand {
 // state is not advanced, so splits are order-independent:
 // r.Split(a) is the same regardless of prior r.Split(b) calls.
 func (r *Rand) Split(id uint64) *Rand {
+	child := &Rand{}
+	r.SplitInto(id, child)
+	return child
+}
+
+// SplitInto reinitializes child to exactly the generator Split(id) would
+// return, without allocating. Hot loops that derive one substream per work
+// item (e.g. per bootstrap resample) reuse a single stack-allocated Rand
+// this way. It only reads the parent's initial state, so concurrent
+// SplitInto calls on a shared parent are safe.
+func (r *Rand) SplitInto(id uint64, child *Rand) {
 	// Mix the parent's initial state with the id through SplitMix64.
 	sm := r.s[0] ^ (id * 0xd1342543de82ef95)
-	child := &Rand{}
 	for i := range child.s {
 		child.s[i] = splitMix64(&sm)
 	}
 	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
 		child.s[0] = 0x9e3779b97f4a7c15
 	}
-	return child
+	child.gauss = 0
+	child.hasGauss = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

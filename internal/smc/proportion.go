@@ -28,10 +28,13 @@ func ProportionInterval(m, n int, c float64) (stats.Interval, error) {
 	if c <= 0 || c >= 1 {
 		return stats.Interval{}, errors.New("smc: confidence outside (0,1)")
 	}
+	// The inversions are memoized by (n, m, c) — campaigns re-derive the
+	// same Clopper–Pearson bounds for every trial at a fixed sample size,
+	// and the cache returns the exact bits the uncached path computes.
 	alpha := 1 - c
 	lo := 0.0
 	if m > 0 {
-		v, err := numeric.BetaQuantile(alpha/2, float64(m), float64(n-m)+1)
+		v, err := numeric.BetaQuantileCached(alpha/2, float64(m), float64(n-m)+1)
 		if err != nil {
 			return stats.Interval{}, err
 		}
@@ -39,7 +42,7 @@ func ProportionInterval(m, n int, c float64) (stats.Interval, error) {
 	}
 	hi := 1.0
 	if m < n {
-		v, err := numeric.BetaQuantile(1-alpha/2, float64(m)+1, float64(n-m))
+		v, err := numeric.BetaQuantileCached(1-alpha/2, float64(m)+1, float64(n-m))
 		if err != nil {
 			return stats.Interval{}, err
 		}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// TestQuantileSelectMatchesQuantileSorted is the quickselect property test:
+// for random samples (continuous, tie-heavy, constant, reversed) and a grid
+// of quantile levels, QuantileSelect must return the exact order statistic
+// the sort-based path returns — same bits, not approximately.
+func TestQuantileSelectMatchesQuantileSorted(t *testing.T) {
+	r := randx.New(77)
+	gen := map[string]func(n int) []float64{
+		"continuous": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = r.Normal(0, 1)
+			}
+			return xs
+		},
+		"ties": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(r.Intn(5))
+			}
+			return xs
+		},
+		"constant": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = 3.25
+			}
+			return xs
+		},
+		"reversed": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(n - i)
+			}
+			return xs
+		},
+	}
+	fs := []float64{0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.999}
+	for name, g := range gen {
+		for _, n := range []int{1, 2, 3, 12, 13, 100, 1000} {
+			xs := g(n)
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			for _, f := range fs {
+				want := QuantileSorted(sorted, f)
+				scratch := append([]float64(nil), xs...)
+				got := QuantileSelect(scratch, f)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s n=%d f=%g: QuantileSelect=%v, QuantileSorted=%v", name, n, f, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileAgreesWithSortedPath pins the public Quantile on the same
+// order statistic as QuantileSorted (satellite: the internal read path is
+// shared, so the two can never drift).
+func TestQuantileAgreesWithSortedPath(t *testing.T) {
+	r := randx.New(78)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = r.Normal(10, 3)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, f := range []float64{0.05, 0.5, 0.9} {
+		want := QuantileSorted(sorted, f)
+		got, err := Quantile(xs, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("f=%g: Quantile=%v, QuantileSorted=%v", f, got, want)
+		}
+	}
+}

@@ -105,16 +105,8 @@ func Quantile(xs []float64, f float64) (float64, error) {
 // QuantileSorted is Quantile for an already ascending-sorted slice, with no
 // validation; it panics on an empty slice.
 func QuantileSorted(sorted []float64, f float64) float64 {
-	n := len(sorted)
 	// Smallest index i (1-based) with i/n ≥ F  ⟹  i = ceil(F·n).
-	i := int(math.Ceil(f * float64(n)))
-	if i < 1 {
-		i = 1
-	}
-	if i > n {
-		i = n
-	}
-	return sorted[i-1]
+	return sorted[quantileIndex(f, len(sorted))-1]
 }
 
 // SortFloats sorts the slice ascending in place (a naming convenience over
@@ -234,7 +226,11 @@ type Summary struct {
 	Mean, StdDev, CoV float64
 }
 
-// Summarize computes a Summary, or an error for an empty sample.
+// Summarize computes a Summary, or an error for an empty sample. The sample
+// is sorted once and every quantile read routes through QuantileSorted; the
+// moments come from a single mean + deviation pass (the arithmetic matches
+// Mean/StdDev/CoefficientOfVariation exactly) instead of recomputing the
+// mean for each derived statistic.
 func Summarize(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
 		return Summary{}, ErrEmpty
@@ -250,8 +246,19 @@ func Summarize(xs []float64) (Summary, error) {
 		Max:    sorted[len(sorted)-1],
 		Mean:   Mean(xs),
 	}
-	s.StdDev = StdDev(xs)
-	s.CoV = CoefficientOfVariation(xs)
+	s.StdDev = math.NaN()
+	s.CoV = math.NaN()
+	if len(xs) >= 2 {
+		sum := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			sum += d * d
+		}
+		s.StdDev = math.Sqrt(sum / float64(len(xs)-1))
+		if s.Mean != 0 {
+			s.CoV = s.StdDev / s.Mean
+		}
+	}
 	return s, nil
 }
 
