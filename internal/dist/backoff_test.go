@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds pins the jitter contract: every delay is
+// base·2^attempt (capped at max) scaled by a factor in [0.5, 1.5).
+func TestBackoffJitterBounds(t *testing.T) {
+	const base, max = 10 * time.Millisecond, 500 * time.Millisecond
+	for seed := uint64(0); seed < 8; seed++ {
+		b := newBackoff(base, max, seed)
+		expected := base
+		for i := 0; i < 40; i++ {
+			d := b.next()
+			lo := time.Duration(float64(expected) * 0.5)
+			hi := time.Duration(float64(expected) * 1.5)
+			if d < lo || d >= hi {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v)", seed, i, d, lo, hi)
+			}
+			if expected < max {
+				expected *= 2
+				if expected > max {
+					expected = max
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffShiftOverflowCapped drives the attempt counter far past
+// the point where base<<attempt overflows int64: the delay must stay
+// positive and capped at 1.5·max, never negative or zero.
+func TestBackoffShiftOverflowCapped(t *testing.T) {
+	for _, base := range []time.Duration{50 * time.Millisecond, time.Hour, 1 << 62} {
+		max := 2 * time.Second
+		b := newBackoff(base, max, 42)
+		for i := 0; i < 100; i++ {
+			d := b.next()
+			if d <= 0 {
+				t.Fatalf("base %v attempt %d: non-positive delay %v (shift overflow leaked)", base, i, d)
+			}
+			if hi := time.Duration(float64(max) * 1.5); d >= hi {
+				t.Fatalf("base %v attempt %d: delay %v >= cap %v", base, i, d, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffAttemptCounterSaturates verifies the attempt counter stops
+// growing (the shift stays in range) while delays remain capped.
+func TestBackoffAttemptCounterSaturates(t *testing.T) {
+	b := newBackoff(time.Millisecond, 10*time.Millisecond, 7)
+	for i := 0; i < 1000; i++ {
+		b.next()
+	}
+	if b.attempt != 30 {
+		t.Errorf("attempt counter = %d after 1000 calls, want saturation at 30", b.attempt)
+	}
+	b.reset()
+	if b.attempt != 0 {
+		t.Errorf("reset left attempt = %d", b.attempt)
+	}
+	if d := b.next(); d >= time.Duration(float64(time.Millisecond)*1.5) {
+		t.Errorf("post-reset delay %v not back at base scale", d)
+	}
+}
+
+// TestBackoffDeterministicPerSeed: same seed, same delay sequence — the
+// jitter stream is part of the reproducibility story.
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := newBackoff(5*time.Millisecond, 100*time.Millisecond, 99)
+	b := newBackoff(5*time.Millisecond, 100*time.Millisecond, 99)
+	for i := 0; i < 20; i++ {
+		if da, db := a.next(), b.next(); da != db {
+			t.Fatalf("attempt %d: %v != %v for identical seeds", i, da, db)
+		}
+	}
+}

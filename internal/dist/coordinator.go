@@ -56,8 +56,14 @@ type Coordinator struct {
 	// (0 = 10s). Workers heartbeat every second while executing, so a
 	// tripped read deadline means the worker is gone, not slow.
 	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame send (0 = 10s). A worker that
+	// stops reading trips it instead of wedging the dispatch forever.
+	WriteTimeout time.Duration
 	// DialTimeout bounds connection establishment (0 = 3s).
 	DialTimeout time.Duration
+	// Dial optionally replaces the TCP dialer — fault injection
+	// (internal/faultx) and tests. Nil uses net.DialTimeout.
+	Dial DialFunc
 	// MaxWorkerFailures is the consecutive-failure budget before a
 	// worker is abandoned for the rest of the job (0 = 3).
 	MaxWorkerFailures int
@@ -91,6 +97,13 @@ func (c *Coordinator) readTimeout() time.Duration {
 		return 10 * time.Second
 	}
 	return c.ReadTimeout
+}
+
+func (c *Coordinator) writeTimeout() time.Duration {
+	if c.WriteTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.WriteTimeout
 }
 
 func (c *Coordinator) dialTimeout() time.Duration {
@@ -347,12 +360,20 @@ func (e *chunkExecError) Error() string { return e.msg }
 // errJobDone aborts a dispatch whose job finished (or failed) elsewhere.
 var errJobDone = errors.New("dist: job finished elsewhere")
 
+// DialFunc establishes one transport connection; it matches
+// net.DialTimeout and is the seam fault injectors and tests use.
+type DialFunc func(network, address string, timeout time.Duration) (net.Conn, error)
+
 func (c *Coordinator) dial(addr string) (*conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, c.dialTimeout())
+	dial := c.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	nc, err := dial("tcp", addr, c.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 	}
-	cn := newConn(nc)
+	cn := newConn(nc, c.writeTimeout())
 	if err := cn.handshake(c.dialTimeout()); err != nil {
 		cn.close()
 		return nil, err
@@ -523,11 +544,16 @@ func fireHooks(job Job, baseSeed uint64, runs []RunResult, h population.RunHooks
 
 // SplitAddrs parses a comma-separated worker address list (the CLIs'
 // -workers flag), dropping empty entries so trailing commas are
-// harmless. nil means "no workers" — a purely local coordinator.
+// harmless and deduplicating repeats so one listed-twice worker doesn't
+// get two worker loops — and with them a doubled failure budget and
+// doubled dispatch share. nil means "no workers" — a purely local
+// coordinator.
 func SplitAddrs(s string) []string {
 	var out []string
+	seen := make(map[string]bool)
 	for _, a := range strings.Split(s, ",") {
-		if a = strings.TrimSpace(a); a != "" {
+		if a = strings.TrimSpace(a); a != "" && !seen[a] {
+			seen[a] = true
 			out = append(out, a)
 		}
 	}

@@ -228,7 +228,7 @@ func startFakeWorker(t *testing.T, handle func(c *conn)) *fakeWorker {
 			f.wg.Add(1)
 			go func() {
 				defer f.wg.Done()
-				c := newConn(nc)
+				c := newConn(nc, 0)
 				defer c.close()
 				handle(c)
 			}()
@@ -451,6 +451,22 @@ func TestSplitAddrs(t *testing.T) {
 		t.Errorf("empty string should yield nil, got %v", got)
 	}
 	got := SplitAddrs("a:1, b:2,,c:3,")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("addr %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitAddrsDedupsRepeats(t *testing.T) {
+	// A repeated address would double that worker's share of the
+	// failure budget and its connection count; SplitAddrs keeps the
+	// first occurrence only.
+	got := SplitAddrs("a:1,b:2, a:1,c:3,b:2,a:1")
 	want := []string{"a:1", "b:2", "c:3"}
 	if len(got) != len(want) {
 		t.Fatalf("got %v, want %v", got, want)

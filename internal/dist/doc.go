@@ -18,10 +18,18 @@
 // only, one connection per worker, chunks dispatched pull-style so fast
 // workers naturally take more of the seed range.
 //
-// Failure layer: per-chunk deadlines, heartbeats during long chunks,
-// bounded exponential backoff with jitter on reconnects, automatic
-// re-dispatch of chunks from dead or slow workers to healthy ones, and
-// graceful degradation to in-process execution when no worker is
-// reachable (a coordinator with no workers at all is simply a local
-// runner).
+// Failure layer: per-chunk deadlines, read and write deadlines on every
+// frame, heartbeats during long chunks, idle-connection reaping and TCP
+// keepalive on the worker side, bounded exponential backoff with jitter
+// on reconnects, automatic re-dispatch of chunks from dead or slow
+// workers to healthy ones, and graceful degradation to in-process
+// execution when no worker is reachable (a coordinator with no workers
+// at all is simply a local runner).
+//
+// The transport is injectable — Coordinator.Dial and Worker.ListenFunc
+// replace the real network — which is how internal/faultx subjects the
+// whole layer to deterministic, seeded chaos (delays, stalls, abrupt
+// closes, truncated and duplicated frames, refused connects) and how
+// the chaos soak test proves the byte-identity contract holds under
+// network pathology, not just clean failures.
 package dist

@@ -59,29 +59,42 @@ type frame struct {
 // conn wraps a TCP connection with buffered JSONL framing and a write
 // lock, so result streaming and heartbeats can interleave safely.
 type conn struct {
-	net  net.Conn
-	r    *bufio.Reader
-	dec  *json.Decoder
-	wmu  sync.Mutex
-	w    *bufio.Writer
-	enc  *json.Encoder
-	addr string
+	net net.Conn
+	r   *bufio.Reader
+	dec *json.Decoder
+	wmu sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	// writeTimeout bounds each send; zero disables. Without it a peer
+	// that stops reading blocks the sender inside wmu forever — wedging
+	// whatever holds the lock next (heartbeats, result streaming).
+	writeTimeout time.Duration
+	addr         string
 }
 
-func newConn(c net.Conn) *conn {
+func newConn(c net.Conn, writeTimeout time.Duration) *conn {
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
 	return &conn{
 		net: c, r: r, dec: json.NewDecoder(r),
 		w: w, enc: json.NewEncoder(w),
-		addr: c.RemoteAddr().String(),
+		writeTimeout: writeTimeout,
+		addr:         c.RemoteAddr().String(),
 	}
 }
 
-// send encodes one frame and flushes it.
+// send encodes one frame and flushes it, bounded by the write timeout.
+// A tripped deadline poisons the buffered writer, so callers must treat
+// any send error as fatal for the connection (they all do: both sides
+// tear the connection down and re-establish).
 func (c *conn) send(f frame) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.net.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
 	if err := c.enc.Encode(f); err != nil {
 		return err
 	}

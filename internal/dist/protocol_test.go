@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // pipePair builds a connected conn pair over an in-memory duplex pipe.
 func pipePair() (*conn, *conn) {
 	a, b := net.Pipe()
-	return newConn(a), newConn(b)
+	return newConn(a, 0), newConn(b, 0)
 }
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -82,6 +83,45 @@ func TestHandshakeVersionMismatch(t *testing.T) {
 	err := a.handshake(2 * time.Second)
 	if err == nil || !strings.Contains(err.Error(), "v2") {
 		t.Errorf("version mismatch should be rejected, got %v", err)
+	}
+}
+
+// TestSendWriteDeadlineUnsticksStalledReader is the regression test for
+// the stalled-reader wedge: a peer that stops reading used to block
+// send inside wmu forever (net.Pipe is unbuffered, so an unread write
+// blocks exactly like a zero TCP window). With a write timeout, send
+// must fail with a timeout instead.
+func TestSendWriteDeadlineUnsticksStalledReader(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := newConn(a, 150*time.Millisecond)
+	defer c.close()
+
+	done := make(chan error, 1)
+	go func() { done <- c.send(frame{Type: framePing}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("send to a reader that never reads should fail")
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Errorf("want a timeout error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send blocked despite the write deadline (stalled-reader wedge)")
+	}
+}
+
+func TestSendWithoutTimeoutStillWorks(t *testing.T) {
+	// Zero write timeout must not set any deadline (scripted test
+	// conns and raw tooling rely on it).
+	a, b := pipePair()
+	defer a.close()
+	defer b.close()
+	go a.send(frame{Type: framePong})
+	if f, err := b.recv(time.Now().Add(2 * time.Second)); err != nil || f.Type != framePong {
+		t.Fatalf("recv: %v %+v", err, f)
 	}
 }
 

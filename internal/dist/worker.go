@@ -1,10 +1,12 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -27,6 +29,18 @@ type Worker struct {
 	// chunk executes (0 = 1s). Heartbeats keep the coordinator's read
 	// deadline from tripping on genuinely slow runs.
 	HeartbeatEvery time.Duration
+	// WriteTimeout bounds each frame send (0 = 15s). A coordinator that
+	// stops reading trips it instead of wedging the sender forever.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds the silence between frames on an idle
+	// connection (0 = 5m, generous: pooled coordinator connections sit
+	// idle between chunks). A half-open coordinator connection trips it
+	// instead of leaking the serve goroutine for the process lifetime.
+	IdleTimeout time.Duration
+	// ListenFunc optionally replaces the TCP listener — fault injection
+	// (internal/faultx) and in-memory test transports. Nil uses a TCP
+	// listener with keepalive enabled.
+	ListenFunc func(network, address string) (net.Listener, error)
 	// Obs receives spans and counters for served chunks; nil disables.
 	Obs *obs.Observer
 
@@ -38,8 +52,18 @@ type Worker struct {
 }
 
 // Listen binds the worker to addr (e.g. ":9777" or "127.0.0.1:0").
+// TCP keepalive is enabled on accepted connections so a coordinator
+// host that vanishes without a FIN is detected at the transport layer
+// too, not only by the idle read deadline.
 func (w *Worker) Listen(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	listen := w.ListenFunc
+	if listen == nil {
+		lc := net.ListenConfig{KeepAlive: 30 * time.Second}
+		listen = func(network, address string) (net.Listener, error) {
+			return lc.Listen(context.Background(), network, address)
+		}
+	}
+	ln, err := listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("dist: worker listen %s: %w", addr, err)
 	}
@@ -51,6 +75,20 @@ func (w *Worker) Listen(addr string) error {
 	w.sem = make(chan struct{}, p)
 	w.conns = make(map[net.Conn]struct{})
 	return nil
+}
+
+func (w *Worker) writeTimeout() time.Duration {
+	if w.WriteTimeout <= 0 {
+		return 15 * time.Second
+	}
+	return w.WriteTimeout
+}
+
+func (w *Worker) idleTimeout() time.Duration {
+	if w.IdleTimeout <= 0 {
+		return 5 * time.Minute
+	}
+	return w.IdleTimeout
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -121,11 +159,14 @@ func (w *Worker) serveConn(nc net.Conn) {
 		delete(w.conns, nc)
 		w.mu.Unlock()
 	}()
-	c := newConn(nc)
+	c := newConn(nc, w.writeTimeout())
 	for {
-		f, err := c.recv(time.Time{})
+		f, err := c.recv(time.Now().Add(w.idleTimeout()))
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			switch {
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				w.Obs.T().Event("dist.worker_conn_idle", obs.Str("peer", c.addr))
+			case !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed):
 				w.Obs.T().Event("dist.worker_conn_error", obs.Str("peer", c.addr), obs.Str("error", err.Error()))
 			}
 			return
@@ -169,6 +210,15 @@ func (w *Worker) runChunk(c *conn, req frame) error {
 		return c.send(frame{Type: frameError, ID: req.ID, Error: "malformed run_chunk frame"})
 	}
 
+	// doomed flips once the chunk cannot complete on this connection —
+	// a failed send (dead coordinator), a failed heartbeat, or a failed
+	// seed. Launching stops immediately so a doomed chunk doesn't burn
+	// CPU and hold semaphore slots that other coordinators' chunks need;
+	// runs already in flight finish and release their slots.
+	doomed := make(chan struct{})
+	var doomOnce sync.Once
+	doom := func() { doomOnce.Do(func() { close(doomed) }) }
+
 	hb := w.HeartbeatEvery
 	if hb <= 0 {
 		hb = time.Second
@@ -185,9 +235,12 @@ func (w *Worker) runChunk(c *conn, req frame) error {
 			case <-stopHB:
 				return
 			case <-t.C:
-				// A send failure here will also surface on the result
-				// path; ignore it.
-				c.send(frame{Type: frameHeartbeat, ID: req.ID})
+				// A failed heartbeat means the coordinator is gone: the
+				// error itself also surfaces on the result path, but
+				// dooming here stops run launches a heartbeat sooner.
+				if c.send(frame{Type: frameHeartbeat, ID: req.ID}) != nil {
+					doom()
+				}
 			}
 		}
 	}()
@@ -204,13 +257,55 @@ func (w *Worker) runChunk(c *conn, req frame) error {
 		err     error
 	}
 	outs := make(chan runOut, req.Count)
+
+	// Drain concurrently with launching, so the first failure dooms the
+	// chunk while later seeds are still unlaunched. A failed seed aborts
+	// the chunk (the coordinator decides whether to surface it); runs
+	// already executing still drain so the semaphore is returned.
+	type outcome struct {
+		runErr, sendErr error
+		sent            int
+	}
+	outcomeCh := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		for r := range outs {
+			if r.err != nil {
+				if o.runErr == nil {
+					o.runErr = fmt.Errorf("seed %d: %w", req.BaseSeed+uint64(r.offset), r.err)
+					doom()
+				}
+				continue
+			}
+			if o.sendErr != nil || o.runErr != nil {
+				continue
+			}
+			if err := c.send(frame{Type: frameResult, ID: req.ID, Offset: r.offset,
+				Metrics: r.metrics, Cycles: r.cycles, ElapsedUS: r.elapsed.Microseconds()}); err != nil {
+				o.sendErr = err
+				doom()
+				continue
+			}
+			o.sent++
+		}
+		outcomeCh <- o
+	}()
+
 	var wg sync.WaitGroup
+	launched := 0
+launch:
 	for i := 0; i < req.Count; i++ {
+		select {
+		case <-doomed:
+			break launch
+		case w.sem <- struct{}{}:
+		}
 		wg.Add(1)
-		w.sem <- struct{}{}
+		launched++
 		go func(off int) {
 			defer wg.Done()
 			defer func() { <-w.sem }()
+			w.Obs.M().Counter(obs.MetricDistWorkerRuns).Inc()
 			seed := req.BaseSeed + uint64(off)
 			start := time.Now()
 			res, err := sim.Run(req.Benchmark, *req.Config, req.Scale, seed)
@@ -222,43 +317,25 @@ func (w *Worker) runChunk(c *conn, req frame) error {
 			outs <- o
 		}(req.Start + i)
 	}
-	go func() {
-		wg.Wait()
-		close(outs)
-	}()
+	wg.Wait()
+	close(outs)
+	o := <-outcomeCh
 
-	// Drain every run before reporting: a single failed seed aborts the
-	// chunk (the coordinator decides whether to retry it elsewhere or
-	// surface the failure), but the remaining runs must finish so the
-	// semaphore is returned.
-	var runErr error
-	sent := 0
-	var sendErr error
-	for o := range outs {
-		if o.err != nil {
-			if runErr == nil {
-				runErr = fmt.Errorf("seed %d: %w", req.BaseSeed+uint64(o.offset), o.err)
-			}
-			continue
-		}
-		if sendErr != nil || runErr != nil {
-			continue
-		}
-		if err := c.send(frame{Type: frameResult, ID: req.ID, Offset: o.offset,
-			Metrics: o.metrics, Cycles: o.cycles, ElapsedUS: o.elapsed.Microseconds()}); err != nil {
-			sendErr = err
-			continue
-		}
-		sent++
+	if o.sendErr != nil {
+		span.End(obs.Str("error", o.sendErr.Error()))
+		return o.sendErr
 	}
-	if sendErr != nil {
-		span.End(obs.Str("error", sendErr.Error()))
-		return sendErr
+	if o.runErr != nil {
+		span.End(obs.Str("error", o.runErr.Error()))
+		return c.send(frame{Type: frameError, ID: req.ID, Error: o.runErr.Error()})
 	}
-	if runErr != nil {
-		span.End(obs.Str("error", runErr.Error()))
-		return c.send(frame{Type: frameError, ID: req.ID, Error: runErr.Error()})
+	if launched < req.Count {
+		// Doomed by a heartbeat failure before any result send failed:
+		// the coordinator is gone, so tear the connection down.
+		err := errors.New("dist: chunk aborted, coordinator connection lost")
+		span.End(obs.Str("error", err.Error()))
+		return err
 	}
-	span.End(obs.Int("results", sent))
-	return c.send(frame{Type: frameChunkDone, ID: req.ID, Count: sent})
+	span.End(obs.Int("results", o.sent))
+	return c.send(frame{Type: frameChunkDone, ID: req.ID, Count: o.sent})
 }

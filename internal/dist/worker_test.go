@@ -3,9 +3,11 @@ package dist
 import (
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -17,7 +19,7 @@ func dialRaw(t *testing.T, addr string) *conn {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := newConn(nc)
+	c := newConn(nc, 0)
 	t.Cleanup(func() { c.close() })
 	return c
 }
@@ -169,4 +171,238 @@ func TestWorkerServeWithoutListen(t *testing.T) {
 	if err := w.Serve(); err == nil {
 		t.Error("Serve before Listen should error")
 	}
+}
+
+// pipeListener is an in-memory net.Listener over net.Pipe, wired into
+// the worker through the injectable ListenFunc hook. net.Pipe writes
+// are unbuffered — they block until the peer reads — which models a
+// zero TCP window (a peer that stopped reading) exactly.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// dial hands the worker one end of a fresh pipe and returns the other.
+func (l *pipeListener) dial(t *testing.T) net.Conn {
+	t.Helper()
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never accepted the pipe connection")
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+// startPipeWorker boots a worker serving over an in-memory listener.
+func startPipeWorker(t *testing.T, w *Worker) *pipeListener {
+	t.Helper()
+	pl := newPipeListener()
+	w.ListenFunc = func(network, address string) (net.Listener, error) { return pl, nil }
+	if err := w.Listen("pipe"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Serve() }()
+	t.Cleanup(func() {
+		w.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not stop")
+		}
+	})
+	return pl
+}
+
+// connCount reports the worker's live connection-map size.
+func connCount(w *Worker) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.conns)
+}
+
+// waitConnsDrained polls until the worker's connection map is empty.
+func waitConnsDrained(t *testing.T, w *Worker, within time.Duration, what string) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for connCount(w) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d connection(s) still tracked after %v", what, connCount(w), within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkerStalledReaderDoesNotWedgeChunk is the worker-level
+// regression test for the stalled-reader wedge: a coordinator that
+// dispatches a chunk and then stops reading used to block the heartbeat
+// goroutine (and with it the whole runChunk) forever inside the write
+// lock. With write deadlines the chunk must abort and the connection be
+// torn down promptly.
+func TestWorkerStalledReaderDoesNotWedgeChunk(t *testing.T) {
+	w := &Worker{
+		Parallelism:    2,
+		HeartbeatEvery: 20 * time.Millisecond,
+		WriteTimeout:   150 * time.Millisecond,
+	}
+	pl := startPipeWorker(t, w)
+	client := pl.dial(t)
+	c := newConn(client, 0)
+	if err := c.handshake(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	if err := c.send(frame{Type: frameRunChunk, ID: 1, Benchmark: testBench,
+		Config: &cfg, Scale: testScale, BaseSeed: testSeed, Count: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Stop reading entirely: every worker write now blocks until its
+	// write deadline trips. The worker must abort the chunk and drop
+	// the connection instead of wedging forever.
+	waitConnsDrained(t, w, 10*time.Second, "stalled-reader chunk")
+
+	// The semaphore must be fully released: a fresh chunk on a fresh
+	// connection has to complete.
+	c2 := newConn(pl.dial(t), 0)
+	if err := c2.handshake(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.send(frame{Type: frameRunChunk, ID: 2, Benchmark: testBench,
+		Config: &cfg, Scale: testScale, BaseSeed: testSeed, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		f, err := c2.recv(time.Now().Add(10 * time.Second))
+		if err != nil {
+			t.Fatalf("fresh chunk after a stalled one: %v", err)
+		}
+		if f.Type == frameChunkDone {
+			break
+		}
+		if f.Type == frameError {
+			t.Fatalf("fresh chunk failed: %s", f.Error)
+		}
+	}
+}
+
+// TestWorkerIdleConnReaped is the regression test for the half-open
+// connection leak: a coordinator that handshakes and then vanishes
+// without closing used to hold the serve goroutine and conns-map entry
+// for the life of the process (recv had no deadline). The idle read
+// deadline must reap it.
+func TestWorkerIdleConnReaped(t *testing.T) {
+	w := &Worker{Parallelism: 1, IdleTimeout: 100 * time.Millisecond}
+	pl := startPipeWorker(t, w)
+	client := pl.dial(t)
+	c := newConn(client, 0)
+	if err := c.handshake(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := connCount(w); n != 1 {
+		t.Fatalf("worker tracks %d conns after handshake, want 1", n)
+	}
+	// Go half-open: never send another frame, never close.
+	waitConnsDrained(t, w, 5*time.Second, "half-open connection")
+}
+
+// TestDoomedChunkStopsLaunchingRuns is the regression test for the
+// CPU-burn bug: a chunk whose coordinator disconnected used to keep
+// launching and executing every remaining seed, holding semaphore slots
+// hostage. Once doomed, launching must stop.
+func TestDoomedChunkStopsLaunchingRuns(t *testing.T) {
+	const count = 400
+	reg := obs.NewRegistry()
+	w := &Worker{
+		Parallelism:    1,
+		HeartbeatEvery: 10 * time.Millisecond,
+		WriteTimeout:   100 * time.Millisecond,
+		Obs:            &obs.Observer{Metrics: reg},
+	}
+	ln := startWorkerWith(t, w)
+	c := dialRaw(t, ln)
+	if err := c.handshake(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	if err := c.send(frame{Type: frameRunChunk, ID: 1, Benchmark: testBench,
+		Config: &cfg, Scale: testScale, BaseSeed: testSeed, Count: count}); err != nil {
+		t.Fatal(err)
+	}
+	// Read the first frame (heartbeat or result) so the chunk is known
+	// to be executing, then kill the connection.
+	if _, err := c.recv(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	c.close()
+
+	waitConnsDrained(t, w, 10*time.Second, "disconnected chunk")
+	// The semaphore must be free promptly: acquire every slot.
+	for i := 0; i < cap(w.sem); i++ {
+		select {
+		case w.sem <- struct{}{}:
+		case <-time.After(5 * time.Second):
+			t.Fatal("semaphore slot still held after the chunk aborted")
+		}
+	}
+	for i := 0; i < cap(w.sem); i++ {
+		<-w.sem
+	}
+	if launched := reg.Counter(obs.MetricDistWorkerRuns).Value(); launched >= count {
+		t.Fatalf("worker executed all %d runs of a doomed chunk (launched %d)", count, launched)
+	} else {
+		t.Logf("doomed chunk launched %d of %d runs before stopping", launched, count)
+	}
+}
+
+// startWorkerWith boots a pre-configured worker on a loopback port.
+func startWorkerWith(t *testing.T, w *Worker) string {
+	t.Helper()
+	if err := w.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Serve() }()
+	t.Cleanup(func() {
+		w.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not stop")
+		}
+	})
+	return w.Addr()
 }

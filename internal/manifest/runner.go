@@ -57,6 +57,10 @@ type Runner struct {
 	// results are byte-identical to a local campaign with the same
 	// manifest seed (unreachable workers degrade to local execution).
 	Workers []string
+	// Dial optionally replaces the coordinator's TCP dialer when Workers
+	// is non-empty — the fault-injection seam (internal/faultx) behind
+	// the CLIs' -chaos-seed flag. Nil uses the real network.
+	Dial dist.DialFunc
 	// PopCache, when non-nil, is consulted before simulating an entry and
 	// fed after. It is content-addressed by the full generation recipe, so
 	// a hit is byte-identical to re-simulating; unlike the per-campaign
@@ -236,7 +240,7 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 	hooks := population.ObserverHooks(r.Obs, e.Benchmark)
 	var pop *population.Population
 	if len(r.Workers) > 0 {
-		coord := &dist.Coordinator{Workers: r.Workers, Parallelism: r.Parallelism, Obs: r.Obs}
+		coord := &dist.Coordinator{Workers: r.Workers, Parallelism: r.Parallelism, Obs: r.Obs, Dial: r.Dial}
 		pop, err = coord.GeneratePopulation(e.Benchmark, cfg, scale, runs, baseSeed, hooks)
 	} else {
 		pop, err = population.GenerateHooked(e.Benchmark, cfg, scale, runs,

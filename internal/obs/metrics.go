@@ -32,6 +32,14 @@ const (
 	MetricDistWorkersDead      = "spa_dist_workers_dead_total"
 	MetricDistLocalChunks      = "spa_dist_local_fallback_chunks_total"
 	MetricDistChunksServed     = "spa_dist_chunks_served_total"
+	MetricDistWorkerRuns       = "spa_dist_worker_runs_total"
+
+	// Chaos fault injection (internal/faultx): connections wrapped with
+	// a fault schedule, faults actually fired, and connection attempts
+	// refused outright.
+	MetricChaosConns    = "spa_chaos_conns_total"
+	MetricChaosFaults   = "spa_chaos_faults_total"
+	MetricChaosRefusals = "spa_chaos_refusals_total"
 )
 
 // Counter is a monotonically increasing integer metric. Nil counters
