@@ -11,6 +11,13 @@
 //	benchreport -in bench.txt -baseline old-bench.txt -out BENCH_3.json
 //
 // -in - reads the benchmark text from stdin instead.
+//
+// A second mode renders campaign convergence journals: point -telemetry
+// at the <name>-telemetry.jsonl a campaign with adaptive (target_width)
+// analyses wrote next to its report, and each analysis's runs-vs-width
+// trajectory is printed as a table:
+//
+//	benchreport -telemetry results/nightly-telemetry.jsonl
 package main
 
 import (
@@ -60,8 +67,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	in := fs.String("in", "-", "benchmark text ('go test -bench' output); - for stdin")
 	baseline := fs.String("baseline", "", "optional baseline benchmark text to compute ns/op improvements against")
 	out := fs.String("out", "", "output JSON file (default stdout)")
+	telemetry := fs.String("telemetry", "", "render a campaign convergence journal (<name>-telemetry.jsonl) as runs-vs-width tables instead of parsing benchmarks")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *telemetry != "" {
+		return renderTelemetry(*telemetry, stdout)
 	}
 	rep, err := parseSource(*in, stdin)
 	if err != nil {

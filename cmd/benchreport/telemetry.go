@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/manifest"
+)
+
+// convergenceGroup is one adaptive analysis's trajectory pulled out of a
+// campaign telemetry journal.
+type convergenceGroup struct {
+	entry, metric string
+	target        float64
+	rounds        []manifest.ConvergenceRound
+}
+
+// readTelemetry parses a <name>-telemetry.jsonl convergence journal
+// (written by the campaign runner) and groups its rounds per analysis,
+// preserving journal order.
+func readTelemetry(r io.Reader) ([]convergenceGroup, error) {
+	var groups []convergenceGroup
+	index := map[string]int{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec manifest.ConvergenceRound
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("journal line %d: %v", line, err)
+		}
+		key := rec.Entry + "\x00" + rec.Metric + "\x00" + fmt.Sprint(rec.Target)
+		i, ok := index[key]
+		if !ok {
+			i = len(groups)
+			index[key] = i
+			groups = append(groups, convergenceGroup{entry: rec.Entry, metric: rec.Metric, target: rec.Target})
+		}
+		groups[i].rounds = append(groups[i].rounds, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("no convergence rounds in journal")
+	}
+	return groups, nil
+}
+
+// renderTelemetry writes each analysis's runs-vs-width convergence table:
+// how many executions each refinement round had, how wide the SPA
+// interval was, and how far from the target that left it.
+func renderTelemetry(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	groups, err := readTelemetry(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "convergence traces: %d adaptive analyses\n", len(groups))
+	for _, g := range groups {
+		last := g.rounds[len(g.rounds)-1]
+		verdict := "converged"
+		if last.Width > g.target {
+			verdict = "hit sample budget"
+		}
+		fmt.Fprintf(w, "\n%s %s (target width %g, %d rounds, %s)\n",
+			g.entry, g.metric, g.target, len(g.rounds), verdict)
+		fmt.Fprintf(w, "  %-6s %-8s %-14s %s\n", "round", "runs", "width", "of-target")
+		for _, rd := range g.rounds {
+			ratio := "-"
+			if g.target > 0 {
+				ratio = fmt.Sprintf("%.3gx", rd.Width/g.target)
+			}
+			fmt.Fprintf(w, "  %-6d %-8d %-14.6g %s\n", rd.Round, rd.Samples, rd.Width, ratio)
+		}
+	}
+	return nil
+}

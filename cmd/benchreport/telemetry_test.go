@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleJournal = `{"entry":"swaptions-default","metric":"runtime_s","round":1,"samples":10,"width":0.02,"target":0.005}
+{"entry":"swaptions-default","metric":"runtime_s","round":2,"samples":20,"width":0.008,"target":0.005}
+{"entry":"swaptions-default","metric":"runtime_s","round":3,"samples":30,"width":0.004,"target":0.005}
+{"entry":"canneal-default","metric":"ipc","round":1,"samples":10,"width":0.5,"target":0.001}
+{"entry":"canneal-default","metric":"ipc","round":2,"samples":40,"width":0.3,"target":0.001}
+`
+
+func TestRenderTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x-telemetry.jsonl")
+	if err := os.WriteFile(path, []byte(sampleJournal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-telemetry", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"2 adaptive analyses",
+		"swaptions-default runtime_s (target width 0.005, 3 rounds, converged)",
+		"canneal-default ipc (target width 0.001, 2 rounds, hit sample budget)",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+	// The swaptions trajectory renders one line per round with the runs
+	// column intact.
+	for _, runs := range []string{" 10 ", " 20 ", " 30 "} {
+		if !strings.Contains(got, runs) {
+			t.Errorf("output missing runs column %q:\n%s", runs, got)
+		}
+	}
+}
+
+func TestRenderTelemetryRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-telemetry", bad}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("malformed journal must error")
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-telemetry", empty}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("empty journal must error")
+	}
+}

@@ -85,6 +85,15 @@ func run(args []string, w io.Writer) error {
 		o.Progress = obs.NewProgress(w, "runs", 0)
 	}
 	runner := &manifest.Runner{OutDir: *out, Parallelism: *parallel, Obs: o, Workers: dist.SplitAddrs(*workers)}
+	// /statusz reports the campaign and the coordinator's live chunk and
+	// per-worker state for the duration of the run.
+	o.SetStatus(func() any {
+		return struct {
+			Campaign string                 `json:"campaign"`
+			Workers  []string               `json:"configured_workers,omitempty"`
+			Coord    dist.CoordinatorStatus `json:"coordinator"`
+		}{m.Name, runner.Workers, runner.Coordinator().Status()}
+	})
 	if *popcacheDir != "" {
 		runner.PopCache = popcache.New(*popcacheDir, 0)
 	}

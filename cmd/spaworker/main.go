@@ -58,6 +58,9 @@ func run(args []string, w io.Writer, ready func(*dist.Worker)) error {
 	}
 
 	worker := &dist.Worker{Parallelism: *parallel, Obs: o}
+	// /statusz reports the worker's own serving state (runs served,
+	// in-flight, active connections).
+	o.SetStatus(func() any { return worker.Status() })
 	if *chaosSeed != 0 {
 		prof, err := faultx.ParseProfile(*chaosProfile)
 		if err != nil {

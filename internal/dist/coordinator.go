@@ -76,6 +76,12 @@ type Coordinator struct {
 	Parallelism int
 	// Obs receives dispatch/retry/re-dispatch/health telemetry.
 	Obs *obs.Observer
+
+	// stMu guards the status/telemetry state below (status.go). Lazily
+	// initialized so the zero-value Coordinator keeps working.
+	stMu     sync.Mutex
+	jobSt    *jobState
+	workerSt map[string]*workerState
 }
 
 func (c *Coordinator) chunkSize() int {
@@ -217,6 +223,7 @@ func (c *Coordinator) Run(job Job, baseSeed uint64, n int, h population.RunHooks
 		queue <- &chunk{index: i, start: start, count: count}
 	}
 	st := newRunState(n, numChunks)
+	c.beginJob(job, n, numChunks)
 
 	span := c.Obs.T().StartSpan("dist.job", obs.Str("benchmark", job.Benchmark),
 		obs.U64("base_seed", baseSeed), obs.Int("runs", n),
@@ -251,7 +258,9 @@ func (c *Coordinator) Run(job Job, baseSeed uint64, n int, h population.RunHooks
 	}
 	<-allDead // worker goroutines all observe st.done before returning
 
-	if _, err := st.finished(); err != nil {
+	_, err := st.finished()
+	c.endJob(err)
+	if err != nil {
 		span.End(obs.Str("error", err.Error()))
 		return nil, err
 	}
@@ -277,12 +286,14 @@ func (c *Coordinator) workerLoop(addr string, job Job, baseSeed uint64, st *runS
 	requeue := func(ch *chunk) {
 		ch.attempts++
 		c.Obs.M().Counter(obs.MetricDistRedispatches).Inc()
+		c.jobStat(func(j *jobState) { j.redispatches++ })
 		queue <- ch // buffered to the chunk count, never blocks
 	}
 	abandon := func(ch *chunk, why error) {
 		if ch != nil {
 			requeue(ch)
 		}
+		c.noteWorkerDead(addr)
 		c.Obs.M().Counter(obs.MetricDistWorkersDead).Inc()
 		c.Obs.T().Event("dist.worker_dead", obs.Str("worker", addr), obs.Str("error", why.Error()))
 		c.Obs.Logf("dist: abandoning worker %s: %v", addr, why)
@@ -374,6 +385,10 @@ func (c *Coordinator) dial(addr string) (*conn, error) {
 		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 	}
 	cn := newConn(nc, c.writeTimeout())
+	// Label this connection with the configured worker address, not the
+	// transport's RemoteAddr — it is the stable identity spans, the
+	// per-worker metric labels, and the /statusz table key all share.
+	cn.addr = addr
 	if err := cn.handshake(c.dialTimeout()); err != nil {
 		cn.close()
 		return nil, err
@@ -387,6 +402,8 @@ func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st
 	span := c.Obs.T().StartSpan("dist.chunk", obs.Str("worker", cn.addr),
 		obs.Int("start", ch.start), obs.Int("count", ch.count), obs.Int("attempt", ch.attempts))
 	c.Obs.M().Counter(obs.MetricDistChunksDispatched).Inc()
+	c.jobStat(func(j *jobState) { j.chunksInFlight++ })
+	defer c.jobStat(func(j *jobState) { j.chunksInFlight-- })
 	id := uint64(ch.index) + 1
 	cfg := job.Config
 	err := cn.send(frame{
@@ -419,6 +436,11 @@ func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st
 			span.End(obs.Str("error", err.Error()))
 			return fmt.Errorf("dist: chunk stream from %s: %w", cn.addr, err)
 		}
+		// Telemetry snapshots describe the worker process, not a chunk, so
+		// fold them in even when they arrive on stale frames.
+		if f.Telemetry != nil {
+			c.noteWorkerTelemetry(cn.addr, f.Telemetry)
+		}
 		if f.ID != id {
 			continue // stale frame from an abandoned exchange
 		}
@@ -440,6 +462,8 @@ func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st
 				return fmt.Errorf("dist: worker %s finished chunk with %d/%d results", cn.addr, len(runs), ch.count)
 			}
 			c.Obs.M().Counter(obs.MetricDistChunksCompleted).Inc()
+			c.noteWorkerChunk(cn.addr)
+			c.jobStat(func(j *jobState) { j.chunksCompleted++ })
 			if st.commit(ch, runs) {
 				fireHooks(job, baseSeed, runs, h)
 			}
@@ -478,6 +502,7 @@ func (c *Coordinator) runLocal(job Job, baseSeed uint64, st *runState, queue cha
 			return
 		}
 		c.Obs.M().Counter(obs.MetricDistLocalChunks).Inc()
+		c.jobStat(func(j *jobState) { j.localChunks++ })
 		runs := make([]RunResult, ch.count)
 		var cwg sync.WaitGroup
 		failed := false
@@ -516,8 +541,8 @@ func (c *Coordinator) runLocal(job Job, baseSeed uint64, st *runState, queue cha
 			mu.Lock()
 			bad := failed
 			mu.Unlock()
-			if !bad {
-				st.commit(ch, runs)
+			if !bad && st.commit(ch, runs) {
+				c.jobStat(func(j *jobState) { j.chunksCompleted++ })
 			}
 		}(ch)
 	}

@@ -11,9 +11,21 @@ import (
 	"repro/internal/sim"
 )
 
-// ProtocolVersion guards against coordinator/worker skew; a mismatch is
-// rejected at hello time rather than mid-campaign.
-const ProtocolVersion = 1
+// ProtocolVersion guards against coordinator/worker skew. Peers accept
+// any version in [MinProtocolVersion, ProtocolVersion] at hello time and
+// speak the lower of the two — so a v1 fleet keeps working against a v2
+// coordinator (and vice versa), while anything outside the window is
+// rejected before a campaign starts.
+//
+//	v1: base protocol (chunks, results, heartbeats)
+//	v2: worker telemetry piggybacked on heartbeat/chunk_done frames
+const (
+	ProtocolVersion    = 2
+	MinProtocolVersion = 1
+	// telemetryVersion is the negotiated version from which workers
+	// attach telemetry snapshots to their frames.
+	telemetryVersion = 2
+)
 
 // Frame types. The protocol is newline-delimited JSON: every message is
 // one frame object on one line, in both directions.
@@ -54,6 +66,34 @@ type frame struct {
 	// Worker capability (hello_ok) and failure detail (error frames).
 	Parallelism int    `json:"parallelism,omitempty"`
 	Error       string `json:"error,omitempty"`
+	// Telemetry is the worker's compact metrics snapshot, piggybacked on
+	// heartbeat and chunk_done frames from protocol v2 on; omitted when
+	// the peer negotiated v1 or the worker has nothing to report yet.
+	Telemetry *WorkerTelemetry `json:"telemetry,omitempty"`
+}
+
+// WorkerTelemetry is the per-worker metrics snapshot carried on the wire:
+// cumulative process-lifetime totals (the coordinator differentiates
+// successive snapshots into rates) plus the instantaneous in-flight
+// count. It is intentionally a summary — count and sum of the run
+// duration distribution rather than full buckets — to keep heartbeats
+// one short line.
+type WorkerTelemetry struct {
+	// RunsServed is the total simulation runs completed by this worker
+	// process (all connections, all coordinators).
+	RunsServed int64 `json:"runs_served"`
+	// InFlight is the number of runs executing right now.
+	InFlight int64 `json:"in_flight,omitempty"`
+	// RunSeconds is the cumulative wall time of completed runs — with
+	// RunsServed this is the run-duration histogram's (count, sum)
+	// summary, giving the coordinator mean run cost per worker.
+	RunSeconds float64 `json:"run_seconds,omitempty"`
+}
+
+// empty reports whether the snapshot carries no information (a worker
+// that has not run anything yet omits it from the frame entirely).
+func (t *WorkerTelemetry) empty() bool {
+	return t == nil || (t.RunsServed == 0 && t.InFlight == 0 && t.RunSeconds == 0)
 }
 
 // conn wraps a TCP connection with buffered JSONL framing and a write
@@ -70,6 +110,10 @@ type conn struct {
 	// whatever holds the lock next (heartbeats, result streaming).
 	writeTimeout time.Duration
 	addr         string
+	// version is the negotiated protocol version — min(ours, peer's) —
+	// set by the handshake on the coordinator side and by the hello
+	// exchange on the worker side. Zero means not yet negotiated.
+	version int
 }
 
 func newConn(c net.Conn, writeTimeout time.Duration) *conn {
@@ -118,7 +162,8 @@ func (c *conn) recv(deadline time.Time) (frame, error) {
 
 func (c *conn) close() error { return c.net.Close() }
 
-// handshake runs the coordinator side of the hello exchange.
+// handshake runs the coordinator side of the hello exchange and records
+// the negotiated version on the connection.
 func (c *conn) handshake(timeout time.Duration) error {
 	if err := c.send(frame{Type: frameHello, Version: ProtocolVersion}); err != nil {
 		return fmt.Errorf("dist: hello to %s: %w", c.addr, err)
@@ -130,9 +175,10 @@ func (c *conn) handshake(timeout time.Duration) error {
 	if f.Type == frameError {
 		return fmt.Errorf("dist: worker %s rejected hello: %s", c.addr, f.Error)
 	}
-	if f.Type != frameHelloOK || f.Version != ProtocolVersion {
-		return fmt.Errorf("dist: worker %s spoke %s v%d, want %s v%d",
-			c.addr, f.Type, f.Version, frameHelloOK, ProtocolVersion)
+	if f.Type != frameHelloOK || f.Version < MinProtocolVersion || f.Version > ProtocolVersion {
+		return fmt.Errorf("dist: worker %s spoke %s v%d, want %s v%d..v%d",
+			c.addr, f.Type, f.Version, frameHelloOK, MinProtocolVersion, ProtocolVersion)
 	}
+	c.version = f.Version // worker already replied with min(its, ours)
 	return nil
 }

@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// CoordinatorStatus is the coordinator's /statusz snapshot: the current
+// (or last) job's chunk accounting plus a per-worker table folded from
+// wire telemetry. Zero-valued before any Run.
+type CoordinatorStatus struct {
+	Benchmark       string              `json:"benchmark,omitempty"`
+	Runs            int                 `json:"runs"`
+	Chunks          int                 `json:"chunks"`
+	ChunksCompleted int                 `json:"chunks_completed"`
+	ChunksInFlight  int                 `json:"chunks_in_flight"`
+	Redispatches    int                 `json:"redispatches"`
+	LocalChunks     int                 `json:"local_fallback_chunks"`
+	Done            bool                `json:"done"`
+	LastError       string              `json:"last_error,omitempty"`
+	Workers         []CoordWorkerStatus `json:"workers,omitempty"`
+}
+
+// CoordWorkerStatus is one worker's row in the coordinator's fleet
+// table. RunsServed/InFlight/RunSeconds are the worker's own lifetime
+// numbers from wire telemetry; ThroughputRPS is the coordinator-side
+// differentiated rate — exactly the signal adaptive batch sizing
+// consumes.
+type CoordWorkerStatus struct {
+	Addr           string  `json:"addr"`
+	RunsServed     int64   `json:"runs_served"`
+	InFlight       int64   `json:"in_flight"`
+	ThroughputRPS  float64 `json:"throughput_runs_per_s"`
+	MeanRunSeconds float64 `json:"mean_run_seconds"`
+	ChunksDone     int     `json:"chunks_done"`
+	Dead           bool    `json:"dead,omitempty"`
+	LastSeenUnixMS int64   `json:"last_seen_unix_ms,omitempty"`
+}
+
+// workerState is the coordinator's mutable per-worker record behind the
+// status table and the labeled fleet gauges.
+type workerState struct {
+	CoordWorkerStatus
+	// lastRuns/lastTime anchor the previous accepted throughput sample,
+	// so the instantaneous rate differentiates over a window long enough
+	// to be meaningful.
+	lastRuns int64
+	lastTime time.Time
+}
+
+// jobState is the chunk accounting for the job in flight.
+type jobState struct {
+	benchmark       string
+	runs            int
+	chunks          int
+	chunksCompleted int
+	chunksInFlight  int
+	redispatches    int
+	localChunks     int
+	done            bool
+	lastError       string
+}
+
+// throughputWindow is the minimum spacing between telemetry frames used
+// to differentiate an instantaneous rate; closer frames only refresh the
+// cumulative numbers.
+const throughputWindow = 100 * time.Millisecond
+
+// beginJob resets the chunk accounting for a new Run. Worker rows
+// persist across jobs of one coordinator (the fleet is the same), their
+// chunk counts keep accumulating.
+func (c *Coordinator) beginJob(job Job, runs, chunks int) {
+	c.stMu.Lock()
+	defer c.stMu.Unlock()
+	c.jobSt = &jobState{benchmark: job.Benchmark, runs: runs, chunks: chunks}
+	if c.workerSt == nil {
+		c.workerSt = make(map[string]*workerState)
+	}
+}
+
+// endJob marks the job finished, recording its terminal error if any.
+func (c *Coordinator) endJob(err error) {
+	c.stMu.Lock()
+	defer c.stMu.Unlock()
+	if c.jobSt == nil {
+		return
+	}
+	c.jobSt.done = true
+	if err != nil {
+		c.jobSt.lastError = err.Error()
+	}
+}
+
+// jobStat mutates the current job accounting under the lock.
+func (c *Coordinator) jobStat(f func(*jobState)) {
+	c.stMu.Lock()
+	defer c.stMu.Unlock()
+	if c.jobSt != nil {
+		f(c.jobSt)
+	}
+}
+
+// worker returns (creating) the named worker's row; callers hold stMu.
+func (c *Coordinator) workerLocked(addr string) *workerState {
+	if c.workerSt == nil {
+		c.workerSt = make(map[string]*workerState)
+	}
+	ws := c.workerSt[addr]
+	if ws == nil {
+		ws = &workerState{CoordWorkerStatus: CoordWorkerStatus{Addr: addr}}
+		c.workerSt[addr] = ws
+	}
+	return ws
+}
+
+// noteWorkerTelemetry folds one wire snapshot into the worker's row and
+// the labeled fleet gauges the scheduler (and /metrics scrapers) read:
+// spa_dist_worker_throughput_runs_per_s{worker=...},
+// spa_dist_worker_inflight{worker=...} and friends.
+func (c *Coordinator) noteWorkerTelemetry(addr string, t *WorkerTelemetry) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	c.stMu.Lock()
+	ws := c.workerLocked(addr)
+	ws.RunsServed = t.RunsServed
+	ws.InFlight = t.InFlight
+	ws.LastSeenUnixMS = now.UnixMilli()
+	if t.RunsServed > 0 && t.RunSeconds > 0 {
+		ws.MeanRunSeconds = t.RunSeconds / float64(t.RunsServed)
+	}
+	switch {
+	case ws.lastTime.IsZero():
+		// First snapshot: no window to differentiate over yet. Seed the
+		// gauge with the worker's busy-time service rate (runs per busy
+		// second) so the series exists from the first heartbeat.
+		if t.RunSeconds > 0 {
+			ws.ThroughputRPS = float64(t.RunsServed) / t.RunSeconds
+		}
+		ws.lastRuns, ws.lastTime = t.RunsServed, now
+	case now.Sub(ws.lastTime) >= throughputWindow:
+		dt := now.Sub(ws.lastTime).Seconds()
+		ws.ThroughputRPS = float64(t.RunsServed-ws.lastRuns) / dt
+		ws.lastRuns, ws.lastTime = t.RunsServed, now
+	}
+	row := *ws
+	c.stMu.Unlock()
+
+	l := obs.Labels{"worker": addr}
+	m := c.Obs.M()
+	m.GaugeL(obs.MetricDistWorkerRunsServed, l).Set(float64(row.RunsServed))
+	m.GaugeL(obs.MetricDistWorkerInflight, l).Set(float64(row.InFlight))
+	m.GaugeL(obs.MetricDistWorkerThroughput, l).Set(row.ThroughputRPS)
+	m.GaugeL(obs.MetricDistWorkerMeanRunSeconds, l).Set(row.MeanRunSeconds)
+}
+
+// noteWorkerDead marks a worker abandoned for this job.
+func (c *Coordinator) noteWorkerDead(addr string) {
+	c.stMu.Lock()
+	c.workerLocked(addr).Dead = true
+	c.stMu.Unlock()
+}
+
+// noteWorkerChunk credits one committed chunk to the worker.
+func (c *Coordinator) noteWorkerChunk(addr string) {
+	c.stMu.Lock()
+	c.workerLocked(addr).ChunksDone++
+	c.stMu.Unlock()
+	c.Obs.M().CounterL(obs.MetricDistWorkerChunks, obs.Labels{"worker": addr}).Inc()
+}
+
+// Status snapshots the coordinator for /statusz. Safe from any
+// goroutine, including while Run is in flight.
+func (c *Coordinator) Status() CoordinatorStatus {
+	c.stMu.Lock()
+	defer c.stMu.Unlock()
+	var s CoordinatorStatus
+	if c.jobSt != nil {
+		s = CoordinatorStatus{
+			Benchmark:       c.jobSt.benchmark,
+			Runs:            c.jobSt.runs,
+			Chunks:          c.jobSt.chunks,
+			ChunksCompleted: c.jobSt.chunksCompleted,
+			ChunksInFlight:  c.jobSt.chunksInFlight,
+			Redispatches:    c.jobSt.redispatches,
+			LocalChunks:     c.jobSt.localChunks,
+			Done:            c.jobSt.done,
+			LastError:       c.jobSt.lastError,
+		}
+	}
+	for _, ws := range c.workerSt {
+		s.Workers = append(s.Workers, ws.CoordWorkerStatus)
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Addr < s.Workers[j].Addr })
+	return s
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -49,6 +51,66 @@ type Worker struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	// Lifetime run accounting, the source of the wire telemetry
+	// snapshots and Status: total runs completed, cumulative run wall
+	// seconds (float64 bits, CAS-accumulated), and runs in flight now.
+	runsDone   atomic.Int64
+	runSecBits atomic.Uint64
+	inflight   atomic.Int64
+	chunks     atomic.Int64
+}
+
+// addRunSeconds folds one run's wall time into the cumulative sum.
+func (w *Worker) addRunSeconds(s float64) {
+	for {
+		old := w.runSecBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + s)
+		if w.runSecBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// telemetry builds the compact wire snapshot, nil when there is nothing
+// to report yet (so idle heartbeats stay minimal).
+func (w *Worker) telemetry() *WorkerTelemetry {
+	t := &WorkerTelemetry{
+		RunsServed: w.runsDone.Load(),
+		InFlight:   w.inflight.Load(),
+		RunSeconds: math.Float64frombits(w.runSecBits.Load()),
+	}
+	if t.empty() {
+		return nil
+	}
+	return t
+}
+
+// WorkerStatus is the /statusz snapshot of a worker process.
+type WorkerStatus struct {
+	Addr         string  `json:"addr"`
+	Parallelism  int     `json:"parallelism"`
+	ActiveConns  int     `json:"active_conns"`
+	ChunksServed int64   `json:"chunks_served"`
+	RunsServed   int64   `json:"runs_served"`
+	InFlight     int64   `json:"in_flight"`
+	RunSeconds   float64 `json:"run_seconds"`
+}
+
+// Status reports the worker's live state; safe from any goroutine.
+func (w *Worker) Status() WorkerStatus {
+	w.mu.Lock()
+	conns := len(w.conns)
+	w.mu.Unlock()
+	return WorkerStatus{
+		Addr:         w.Addr(),
+		Parallelism:  cap(w.sem),
+		ActiveConns:  conns,
+		ChunksServed: w.chunks.Load(),
+		RunsServed:   w.runsDone.Load(),
+		InFlight:     w.inflight.Load(),
+		RunSeconds:   math.Float64frombits(w.runSecBits.Load()),
+	}
 }
 
 // Listen binds the worker to addr (e.g. ":9777" or "127.0.0.1:0").
@@ -173,13 +235,16 @@ func (w *Worker) serveConn(nc net.Conn) {
 		}
 		switch f.Type {
 		case frameHello:
-			if f.Version != ProtocolVersion {
+			if f.Version < MinProtocolVersion || f.Version > ProtocolVersion {
 				c.send(frame{Type: frameError,
-					Error: fmt.Sprintf("protocol version %d, worker speaks %d", f.Version, ProtocolVersion)})
+					Error: fmt.Sprintf("protocol version %d, worker speaks %d..%d", f.Version, MinProtocolVersion, ProtocolVersion)})
 				return
 			}
+			// Speak the lower of the two versions: a v1 coordinator gets
+			// plain v1 frames, a v2 one gets telemetry piggybacks.
+			c.version = min(f.Version, ProtocolVersion)
 			p := cap(w.sem)
-			if err := c.send(frame{Type: frameHelloOK, Version: ProtocolVersion, Parallelism: p}); err != nil {
+			if err := c.send(frame{Type: frameHelloOK, Version: c.version, Parallelism: p}); err != nil {
 				return
 			}
 		case framePing:
@@ -205,6 +270,16 @@ func (w *Worker) runChunk(c *conn, req frame) error {
 		obs.U64("id", req.ID), obs.Str("benchmark", req.Benchmark),
 		obs.Int("start", req.Start), obs.Int("count", req.Count))
 	w.Obs.M().Counter(obs.MetricDistChunksServed).Inc()
+	w.chunks.Add(1)
+	// Telemetry piggybacks are version-gated: a v1 coordinator never sees
+	// the field, so old fleets interoperate unchanged.
+	sendTelemetry := c.version >= telemetryVersion
+	snapshot := func() *WorkerTelemetry {
+		if !sendTelemetry {
+			return nil
+		}
+		return w.telemetry()
+	}
 	if req.Count <= 0 || req.Config == nil || req.Benchmark == "" {
 		span.End(obs.Str("error", "malformed chunk"))
 		return c.send(frame{Type: frameError, ID: req.ID, Error: "malformed run_chunk frame"})
@@ -238,7 +313,7 @@ func (w *Worker) runChunk(c *conn, req frame) error {
 				// A failed heartbeat means the coordinator is gone: the
 				// error itself also surfaces on the result path, but
 				// dooming here stops run launches a heartbeat sooner.
-				if c.send(frame{Type: frameHeartbeat, ID: req.ID}) != nil {
+				if c.send(frame{Type: frameHeartbeat, ID: req.ID, Telemetry: snapshot()}) != nil {
 					doom()
 				}
 			}
@@ -306,10 +381,15 @@ launch:
 			defer wg.Done()
 			defer func() { <-w.sem }()
 			w.Obs.M().Counter(obs.MetricDistWorkerRuns).Inc()
+			w.inflight.Add(1)
 			seed := req.BaseSeed + uint64(off)
 			start := time.Now()
 			res, err := sim.Run(req.Benchmark, *req.Config, req.Scale, seed)
-			o := runOut{offset: off, elapsed: time.Since(start), err: err}
+			elapsed := time.Since(start)
+			w.inflight.Add(-1)
+			w.runsDone.Add(1)
+			w.addRunSeconds(elapsed.Seconds())
+			o := runOut{offset: off, elapsed: elapsed, err: err}
 			if err == nil {
 				o.metrics = res.Metrics
 				o.cycles = res.Cycles
@@ -337,5 +417,5 @@ launch:
 		return err
 	}
 	span.End(obs.Int("results", o.sent))
-	return c.send(frame{Type: frameChunkDone, ID: req.ID, Count: o.sent})
+	return c.send(frame{Type: frameChunkDone, ID: req.ID, Count: o.sent, Telemetry: snapshot()})
 }

@@ -233,6 +233,7 @@ func (in *Injector) refused(rng *randx.Rand) bool {
 
 func (in *Injector) countFault(s Scenario, op string) {
 	in.o.M().Counter(obs.MetricChaosFaults).Inc()
+	in.o.M().CounterL(obs.MetricChaosFaultsByKind, obs.Labels{"kind": s.String()}).Inc()
 	in.o.T().Event("faultx.fault", obs.Str("kind", s.String()), obs.Str("op", op))
 }
 

@@ -314,7 +314,13 @@ func TestFaultCounters(t *testing.T) {
 	if v := reg.Counter(obs.MetricChaosConns).Value(); v != 1 {
 		t.Errorf("conns counter = %d, want 1", v)
 	}
-	if v := reg.Counter(obs.MetricChaosFaults).Value(); v == 0 {
+	total := reg.Counter(obs.MetricChaosFaults).Value()
+	if total == 0 {
 		t.Error("fault counter never incremented")
+	}
+	// The per-kind labeled counter tracks the aggregate: all faults here
+	// are Close, so the one labeled series carries the whole total.
+	if v := reg.CounterL(obs.MetricChaosFaultsByKind, obs.Labels{"kind": Close.String()}).Value(); v != total {
+		t.Errorf("fault{kind=close} = %d, want %d (the aggregate)", v, total)
 	}
 }

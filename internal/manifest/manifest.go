@@ -26,7 +26,23 @@ type Analysis struct {
 	C float64 `json:"c"`
 	// Direction is "atmost" (default) or "atleast".
 	Direction string `json:"direction,omitempty"`
+	// TargetWidth, when positive, switches this analysis to adaptive
+	// mode: instead of analyzing the entry's fixed population, the runner
+	// re-collects samples (same seed range, so the campaign stays
+	// replicable) round by round via core.AnalyzeToWidth until the SPA
+	// interval is at most this wide, emitting one convergence-trace round
+	// per refinement step.
+	TargetWidth float64 `json:"target_width,omitempty"`
+	// MaxSamples bounds an adaptive analysis's total executions
+	// (0 = core's default budget of 4096).
+	MaxSamples int `json:"max_samples,omitempty"`
+	// GrowBatch is how many executions each refinement round adds
+	// (0 = the (F, C) minimum again).
+	GrowBatch int `json:"grow_batch,omitempty"`
 }
+
+// Adaptive reports whether the analysis runs the width-refinement loop.
+func (a Analysis) Adaptive() bool { return a.TargetWidth > 0 }
 
 // Params converts the analysis to SPA parameters.
 func (a Analysis) Params() (core.Params, error) {
@@ -158,6 +174,17 @@ func (m *Manifest) Validate() error {
 		}
 		if a.Metric == "" {
 			return fmt.Errorf("manifest: analysis %d: empty metric", i)
+		}
+		if a.TargetWidth < 0 {
+			return fmt.Errorf("manifest: analysis %d: negative target width", i)
+		}
+		if a.MaxSamples < 0 || a.GrowBatch < 0 {
+			return fmt.Errorf("manifest: analysis %d: negative sample bound", i)
+		}
+		if a.Adaptive() && a.MaxSamples > 0 {
+			if minN, err := core.CIMinSamples(p); err == nil && a.MaxSamples < minN {
+				return fmt.Errorf("manifest: analysis %d: max_samples %d below the (F,C) minimum %d", i, a.MaxSamples, minN)
+			}
 		}
 	}
 	return nil

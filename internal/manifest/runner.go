@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -25,9 +26,29 @@ type AnalysisResult struct {
 	Direction string         `json:"direction"`
 	Samples   int            `json:"samples"`
 	Interval  stats.Interval `json:"interval"`
+	// TargetWidth/Converged/Rounds describe an adaptive analysis: the
+	// width it refined toward, whether it got there before the sample
+	// budget ran out, and the per-round convergence trajectory. Empty for
+	// fixed-population analyses.
+	TargetWidth float64            `json:"target_width,omitempty"`
+	Converged   bool               `json:"converged,omitempty"`
+	Rounds      []ConvergenceRound `json:"rounds,omitempty"`
 	// Err carries a per-analysis failure (e.g. metric missing) without
 	// aborting the rest of the campaign.
 	Err string `json:"error,omitempty"`
+}
+
+// ConvergenceRound is one refinement step of an adaptive analysis: after
+// Samples executions the SPA interval was Width wide against Target.
+// The same records, tagged with their entry and metric, make up the
+// campaign's telemetry journal.
+type ConvergenceRound struct {
+	Entry   string  `json:"entry,omitempty"`
+	Metric  string  `json:"metric,omitempty"`
+	Round   int     `json:"round"`
+	Samples int     `json:"samples"`
+	Width   float64 `json:"width"`
+	Target  float64 `json:"target"`
 }
 
 // Report is the campaign outcome.
@@ -66,6 +87,26 @@ type Runner struct {
 	// a hit is byte-identical to re-simulating; unlike the per-campaign
 	// OutDir resume files it is shared across campaigns and manifests.
 	PopCache *popcache.Cache
+
+	// coord is the shared dist coordinator behind both worker-backed
+	// population generation and adaptive collection; sharing one instance
+	// is what lets per-worker telemetry and /statusz chunk accounting
+	// accumulate across the whole campaign.
+	coordMu sync.Mutex
+	coord   *dist.Coordinator
+}
+
+// Coordinator returns the runner's shared coordinator, creating it on
+// first call — CLIs install it as their /statusz source before Run. With
+// no Workers configured it degrades to a purely local runner, so it is
+// never nil.
+func (r *Runner) Coordinator() *dist.Coordinator {
+	r.coordMu.Lock()
+	defer r.coordMu.Unlock()
+	if r.coord == nil {
+		r.coord = &dist.Coordinator{Workers: r.Workers, Parallelism: r.Parallelism, Obs: r.Obs, Dial: r.Dial}
+	}
+	return r.coord
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -80,6 +121,14 @@ func (r *Runner) popPath(m *Manifest, e Entry) string {
 // ReportPath is the report file the campaign writes.
 func (r *Runner) ReportPath(m *Manifest) string {
 	return filepath.Join(r.OutDir, fmt.Sprintf("%s-report.json", m.Name))
+}
+
+// TelemetryPath is the convergence journal the campaign writes next to
+// the report when it ran adaptive analyses: one JSON object per line,
+// one line per refinement round (see ConvergenceRound). benchreport
+// -telemetry renders it.
+func (r *Runner) TelemetryPath(m *Manifest) string {
+	return filepath.Join(r.OutDir, fmt.Sprintf("%s-telemetry.jsonl", m.Name))
 }
 
 // Run executes the campaign: simulate (or load) every entry's population,
@@ -104,6 +153,7 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 		obs.Int("entries", len(m.Entries)), obs.Int("analyses", len(m.Analyses)))
 	defer campaign.End()
 
+	var journal []ConvergenceRound
 	for i, e := range m.Entries {
 		pop, reused, err := r.loadOrGenerate(m, e, i, scale)
 		if err != nil {
@@ -113,9 +163,31 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 			report.Reused = append(report.Reused, e.key())
 		}
 		for _, a := range m.Analyses {
-			res := r.analyze(e, a, pop)
+			var res AnalysisResult
+			if a.Adaptive() {
+				res = r.analyzeAdaptive(m, e, i, scale, a)
+				journal = append(journal, res.Rounds...)
+			} else {
+				res = r.analyze(e, a, pop)
+			}
 			report.Results = append(report.Results, res)
 		}
+	}
+
+	if len(journal) > 0 {
+		err := writeFileAtomic(r.TelemetryPath(m), func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			for _, rec := range journal {
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.logf("convergence journal written to %s", r.TelemetryPath(m))
 	}
 
 	err := writeFileAtomic(r.ReportPath(m), func(w io.Writer) error {
@@ -197,6 +269,73 @@ func (r *Runner) analyze(e Entry, a Analysis, pop *population.Population) Analys
 	return res
 }
 
+// analyzeAdaptive runs one width-refinement analysis: it re-collects the
+// entry's seed range through the shared coordinator (workers when
+// configured, in-process otherwise) until the SPA interval narrows to
+// the target width, recording a convergence round — trace event, labeled
+// gauges, journal record — per refinement step. Seeds are the entry's
+// own base-seed range, so the trajectory is replicable run to run.
+func (r *Runner) analyzeAdaptive(m *Manifest, e Entry, idx int, scale float64, a Analysis) AnalysisResult {
+	res := AnalysisResult{
+		Entry: e.key(), Metric: a.Metric, F: a.F, C: a.C,
+		Direction: a.Direction, TargetWidth: a.TargetWidth,
+	}
+	if res.Direction == "" {
+		res.Direction = "atmost"
+	}
+	span := r.Obs.T().StartSpan("campaign.analysis_adaptive", obs.Str("entry", res.Entry),
+		obs.Str("metric", a.Metric), obs.F64("f", a.F), obs.F64("c", a.C),
+		obs.F64("target_width", a.TargetWidth))
+	fail := func(err error) AnalysisResult {
+		res.Err = err.Error()
+		r.Obs.CIBuilt("SPA", 0, err)
+		span.End(obs.Str("error", res.Err))
+		return res
+	}
+	p, err := a.Params()
+	if err != nil {
+		return fail(err)
+	}
+	cfg, err := e.Config()
+	if err != nil {
+		return fail(err)
+	}
+	baseSeed := m.Seed + uint64(idx)*1_000_000
+	job := dist.Job{Benchmark: e.Benchmark, Config: cfg, Scale: scale}
+	col := r.Coordinator().Collector(job, a.Metric)
+	round := 0
+	hooks := core.Hooks{
+		OnRound: func(samples int, width float64) {
+			round++
+			res.Rounds = append(res.Rounds, ConvergenceRound{
+				Entry: res.Entry, Metric: a.Metric,
+				Round: round, Samples: samples, Width: width, Target: a.TargetWidth,
+			})
+			r.Obs.ConvergenceRound(res.Entry, a.Metric, "SPA", samples, width, a.TargetWidth)
+		},
+	}
+	an, err := core.AnalyzeToWidthWith(col, p, core.WidthOptions{
+		TargetWidth: a.TargetWidth, GrowBatch: a.GrowBatch,
+		MaxSamples: a.MaxSamples, Batch: r.Parallelism,
+		BaseSeed: baseSeed, Hooks: hooks,
+	})
+	switch {
+	case err == nil:
+		res.Converged = true
+	case errors.Is(err, core.ErrWidthBudget):
+		// The widest-effort interval is still usable; Converged stays
+		// false to record the budget miss.
+	default:
+		return fail(err)
+	}
+	res.Samples = len(an.Samples)
+	res.Interval = an.Interval
+	r.Obs.CIBuilt("SPA", an.Interval.Width(), nil)
+	span.End(obs.Int("samples", res.Samples), obs.F64("width", an.Interval.Width()),
+		obs.Int("rounds", round), obs.Bool("converged", res.Converged))
+	return res
+}
+
 // loadOrGenerate resumes an entry's population from disk or simulates it.
 func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*population.Population, bool, error) {
 	path := r.popPath(m, e)
@@ -240,8 +379,7 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 	hooks := population.ObserverHooks(r.Obs, e.Benchmark)
 	var pop *population.Population
 	if len(r.Workers) > 0 {
-		coord := &dist.Coordinator{Workers: r.Workers, Parallelism: r.Parallelism, Obs: r.Obs, Dial: r.Dial}
-		pop, err = coord.GeneratePopulation(e.Benchmark, cfg, scale, runs, baseSeed, hooks)
+		pop, err = r.Coordinator().GeneratePopulation(e.Benchmark, cfg, scale, runs, baseSeed, hooks)
 	} else {
 		pop, err = population.GenerateHooked(e.Benchmark, cfg, scale, runs,
 			baseSeed, r.Parallelism, hooks)
@@ -271,8 +409,15 @@ func (rep *Report) Render(w io.Writer) {
 				res.Entry, res.Metric, res.F, res.C, res.Direction, res.Err)
 			continue
 		}
-		fmt.Fprintf(w, "%-24s %-18s %-5g %-5g %-8s %-14.6g %.6g\n",
+		note := ""
+		if res.TargetWidth > 0 {
+			note = "  [adaptive: hit budget]"
+			if res.Converged {
+				note = fmt.Sprintf("  [adaptive: converged in %d rounds]", len(res.Rounds))
+			}
+		}
+		fmt.Fprintf(w, "%-24s %-18s %-5g %-5g %-8s %-14.6g %.6g%s\n",
 			res.Entry, res.Metric, res.F, res.C, res.Direction,
-			res.Interval.Lo, res.Interval.Hi)
+			res.Interval.Lo, res.Interval.Hi, note)
 	}
 }

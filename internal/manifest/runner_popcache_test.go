@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/popcache"
@@ -78,7 +79,7 @@ func TestRunnerPopCacheHitByteIdentical(t *testing.T) {
 		t.Fatalf("result counts differ: %d vs %d", len(hitRep.Results), len(plainRep.Results))
 	}
 	for i, got := range hitRep.Results {
-		if got != plainRep.Results[i] {
+		if !reflect.DeepEqual(got, plainRep.Results[i]) {
 			t.Errorf("analysis %d differs: cached %+v, plain %+v", i, got, plainRep.Results[i])
 		}
 	}

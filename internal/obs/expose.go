@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -52,12 +53,13 @@ func (r *Registry) snapshot() snapshot {
 		s.Histograms = make(map[string]histogramStats, len(r.histograms))
 		for n, h := range r.histograms {
 			hs := histogramStats{Count: h.Count(), Sum: h.Sum(), Mean: h.Mean()}
+			// Every bucket is emitted, including empty ones and +Inf: a
+			// bucket set that grows as counts arrive would change between
+			// scrapes, which breaks histogram_quantile over the series.
+			hs.Buckets = make([]histogramBound, 0, len(h.counts))
 			var cum int64
 			for i := range h.counts {
 				cum += h.counts[i].Load()
-				if cum == 0 {
-					continue // leading empty buckets add no information
-				}
 				le := "+Inf"
 				if i < len(histBuckets) {
 					le = fmt.Sprintf("%g", histBuckets[i])
@@ -77,10 +79,41 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.snapshot())
 }
 
+// familyOf splits a series key (possibly carrying a canonical label
+// block, see SeriesKey) into the metric family name and the label block
+// (with braces; empty for unlabeled series).
+func familyOf(key string) (family, block string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// familyGroups orders series keys for exposition: families sorted by
+// name, and within one family the unlabeled series first, then labeled
+// series in canonical-block order — so every series of a family sits
+// under a single # TYPE line, as the text format requires.
+func familyGroups[V any](m map[string]V) (families []string, series map[string][]string) {
+	series = make(map[string][]string, len(m))
+	for key := range m {
+		fam, _ := familyOf(key)
+		if _, ok := series[fam]; !ok {
+			families = append(families, fam)
+		}
+		series[fam] = append(series[fam], key)
+	}
+	sort.Strings(families)
+	for _, keys := range series {
+		sort.Strings(keys) // "fam" < "fam{...}", blocks canonical-sorted
+	}
+	return families, series
+}
+
 // WritePrometheus writes the registry in Prometheus text exposition
 // format (version 0.0.4): counters as `counter`, gauges as `gauge`,
 // histograms as `histogram` with cumulative `_bucket{le=...}` series.
-// Families are sorted by name so output is diffable.
+// Labeled series (CounterL et al.) are grouped under their family's one
+// # TYPE line. Families are sorted by name so output is diffable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.snapshot()
 	var err error
@@ -89,30 +122,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
-	for _, name := range sortedKeys(s.Counters) {
-		pf("# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
-	}
-	for _, name := range sortedKeys(s.Gauges) {
-		pf("# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name])
-	}
-	for _, name := range sortedKeys(s.Histograms) {
-		h := s.Histograms[name]
-		pf("# TYPE %s histogram\n", name)
-		for _, b := range h.Buckets {
-			pf("%s_bucket{le=%q} %d\n", name, b.LE, b.Cumulative)
+	fams, series := familyGroups(s.Counters)
+	for _, fam := range fams {
+		pf("# TYPE %s counter\n", fam)
+		for _, key := range series[fam] {
+			pf("%s %d\n", key, s.Counters[key])
 		}
-		pf("%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
+	}
+	fams, series = familyGroups(s.Gauges)
+	for _, fam := range fams {
+		pf("# TYPE %s gauge\n", fam)
+		for _, key := range series[fam] {
+			pf("%s %g\n", key, s.Gauges[key])
+		}
+	}
+	fams, series = familyGroups(s.Histograms)
+	for _, fam := range fams {
+		pf("# TYPE %s histogram\n", fam)
+		for _, key := range series[fam] {
+			h := s.Histograms[key]
+			_, block := familyOf(key)
+			for _, b := range h.Buckets {
+				pf("%s_bucket%s %d\n", fam, mergeLE(block, b.LE), b.Cumulative)
+			}
+			pf("%s_sum%s %g\n%s_count%s %d\n", fam, block, h.Sum, fam, block, h.Count)
+		}
 	}
 	return err
 }
 
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// mergeLE splices the le label into a series' canonical label block:
+// “ + 1 → `{le="1"}`, `{worker="w"}` + 1 → `{worker="w",le="1"}`.
+func mergeLE(block, le string) string {
+	if block == "" {
+		return fmt.Sprintf("{le=%q}", le)
 	}
-	sort.Strings(keys)
-	return keys
+	return fmt.Sprintf("%s,le=%q}", block[:len(block)-1], le)
 }
 
 // expvarPublished guards against double-publishing, which expvar treats

@@ -6,15 +6,18 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 )
 
 // Flags is the shared CLI surface for telemetry, registered identically on
-// every command (spa, simrun, campaign, experiments).
+// every command (spa, simrun, campaign, experiments, spaworker).
 type Flags struct {
-	Trace    string
-	Metrics  string
-	Pprof    string
-	Progress bool
+	Trace         string
+	Metrics       string
+	Pprof         string
+	Progress      bool
+	TelemetryAddr string
+	TelemetryHold time.Duration
 }
 
 // Register installs the telemetry flags on a FlagSet.
@@ -23,11 +26,13 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Metrics, "metrics", "", "dump metrics at exit to this file (- for stderr; .json selects JSON, otherwise Prometheus text)")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	fs.BoolVar(&f.Progress, "progress", false, "report campaign progress (done/total, rate, ETA)")
+	fs.StringVar(&f.TelemetryAddr, "telemetry-addr", "", "serve /metrics (Prometheus), /statusz (JSON) and /healthz on this address (e.g. localhost:9780)")
+	fs.DurationVar(&f.TelemetryHold, "telemetry-hold", 0, "keep the -telemetry-addr server up this long after the command finishes, so a final scrape can observe end state")
 }
 
 // Enabled reports whether any telemetry backend was requested.
 func (f *Flags) Enabled() bool {
-	return f.Trace != "" || f.Metrics != "" || f.Pprof != "" || f.Progress
+	return f.Trace != "" || f.Metrics != "" || f.Pprof != "" || f.Progress || f.TelemetryAddr != ""
 }
 
 // Start builds the Observer the flags describe and returns a close
@@ -81,6 +86,25 @@ func (f *Flags) Start(label string, progressW io.Writer) (*Observer, func() erro
 		}
 		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
 		closers = append(closers, func() error { stop(); return nil })
+	}
+	if f.TelemetryAddr != "" {
+		addr, stop, err := ServeTelemetry(f.TelemetryAddr, o)
+		if err != nil {
+			closeAll(closers)
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", addr)
+		hold := f.TelemetryHold
+		closers = append(closers, func() error {
+			// Hold the endpoints up briefly after completion so a last
+			// scrape (CI assertions, a Prometheus poll mid-interval) can
+			// observe the final chunk/worker/convergence state.
+			if hold > 0 {
+				time.Sleep(hold)
+			}
+			stop()
+			return nil
+		})
 	}
 	if f.Progress {
 		if progressW == nil {

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeriesKeyCanonical(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels Labels
+		want   string
+	}{
+		{"m", nil, "m"},
+		{"m", Labels{}, "m"},
+		{"m", Labels{"b": "2", "a": "1"}, `m{a="1",b="2"}`},
+		{"m", Labels{"a": "1", "b": "2"}, `m{a="1",b="2"}`},
+		{"m", Labels{"w": `va"l\ue` + "\n"}, `m{w="va\"l\\ue\n"}`},
+	}
+	for _, c := range cases {
+		if got := SeriesKey(c.name, c.labels); got != c.want {
+			t.Errorf("SeriesKey(%q, %v) = %q, want %q", c.name, c.labels, got, c.want)
+		}
+	}
+}
+
+func TestLabeledSeriesIdentity(t *testing.T) {
+	reg := NewRegistry()
+	// Key order must not matter: both spellings hit the same series.
+	reg.CounterL("runs_total", Labels{"worker": "w1", "benchmark": "ferret"}).Add(2)
+	reg.CounterL("runs_total", Labels{"benchmark": "ferret", "worker": "w1"}).Inc()
+	if got := reg.CounterL("runs_total", Labels{"worker": "w1", "benchmark": "ferret"}).Value(); got != 3 {
+		t.Errorf("canonicalized series value %d, want 3", got)
+	}
+	// A different label value is a different series.
+	reg.CounterL("runs_total", Labels{"worker": "w2", "benchmark": "ferret"}).Inc()
+	if got := reg.CounterL("runs_total", Labels{"worker": "w2", "benchmark": "ferret"}).Value(); got != 1 {
+		t.Errorf("second series value %d, want 1", got)
+	}
+	// Empty labels collapse to the unlabeled fast path.
+	reg.CounterL("runs_total", nil).Add(5)
+	if got := reg.Counter("runs_total").Value(); got != 5 {
+		t.Errorf("unlabeled value %d, want 5", got)
+	}
+	reg.GaugeL("g", Labels{"k": "v"}).Set(1.5)
+	if got := reg.GaugeL("g", Labels{"k": "v"}).Value(); got != 1.5 {
+		t.Errorf("labeled gauge %g", got)
+	}
+	reg.HistogramL("h", Labels{"k": "v"}).Observe(2)
+	if got := reg.HistogramL("h", Labels{"k": "v"}).Count(); got != 1 {
+		t.Errorf("labeled histogram count %d", got)
+	}
+}
+
+func TestLabeledNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.CounterL("c", Labels{"a": "1"}).Inc()
+	reg.GaugeL("g", Labels{"a": "1"}).Set(1)
+	reg.GaugeL("g", Labels{"a": "1"}).Add(1)
+	reg.GaugeL("g", Labels{"a": "1"}).Sub(1)
+	reg.HistogramL("h", Labels{"a": "1"}).Observe(1)
+	if v := reg.CounterL("c", Labels{"a": "1"}).Value(); v != 0 {
+		t.Errorf("nil labeled counter value %d", v)
+	}
+	var o *Observer
+	o.ConvergenceRound("e", "m", "SPA", 10, 0.5, 0.1)
+	o.SetStatus(func() any { return nil })
+	if o.StatusFn() != nil {
+		t.Error("nil observer must have no status fn")
+	}
+}
+
+func TestGaugeAddSub(t *testing.T) {
+	g := &Gauge{}
+	g.Add(2.5)
+	g.Add(1.5)
+	g.Sub(1)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge value %g, want 3", got)
+	}
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(1)
+				g.Sub(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge value after balanced concurrent add/sub %g, want 3", got)
+	}
+}
+
+func TestInflightGauge(t *testing.T) {
+	o := &Observer{Metrics: NewRegistry()}
+	o.RunStarted()
+	o.RunStarted()
+	if got := o.Metrics.Gauge(MetricRunsInflight).Value(); got != 2 {
+		t.Errorf("inflight after two starts %g, want 2", got)
+	}
+	o.RunDone("ferret", 1, 10, nil, time.Time{}, 0)
+	if got := o.Metrics.Gauge(MetricRunsInflight).Value(); got != 1 {
+		t.Errorf("inflight after one done %g, want 1", got)
+	}
+	if got := o.Metrics.CounterL(MetricBenchmarkRuns, Labels{"benchmark": "ferret"}).Value(); got != 1 {
+		t.Errorf("per-benchmark runs %d, want 1", got)
+	}
+}
+
+func TestLabeledPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("spa_x_total").Add(4)
+	reg.CounterL("spa_x_total", Labels{"worker": "w1"}).Add(3)
+	reg.CounterL("spa_x_total", Labels{"worker": "w2"}).Add(1)
+	reg.GaugeL(MetricDistWorkerThroughput, Labels{"worker": "w1"}).Set(12.5)
+	reg.HistogramL("spa_dur_seconds", Labels{"worker": "w1"}).Observe(0.002)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"# TYPE spa_x_total counter",
+		"spa_x_total 4",
+		`spa_x_total{worker="w1"} 3`,
+		`spa_x_total{worker="w2"} 1`,
+		`spa_dist_worker_throughput_runs_per_s{worker="w1"} 12.5`,
+		`spa_dur_seconds_bucket{worker="w1",le="4e-06"} 0`,
+		`spa_dur_seconds_bucket{worker="w1",le="0.004"} 1`,
+		`spa_dur_seconds_bucket{worker="w1",le="+Inf"} 1`,
+		`spa_dur_seconds_sum{worker="w1"} 0.002`,
+		`spa_dur_seconds_count{worker="w1"} 1`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("labeled exposition missing %q:\n%s", frag, out)
+		}
+	}
+	// One TYPE line per family even with mixed labeled/unlabeled series.
+	if n := strings.Count(out, "# TYPE spa_x_total counter"); n != 1 {
+		t.Errorf("family spa_x_total declared %d times, want 1:\n%s", n, out)
+	}
+}
+
+// TestHistogramBucketSetStable is the regression test for the scrape-vs-
+// scrape bucket drift: an empty histogram region must still emit every
+// bucket, so histogram_quantile sees an identical bucket layout no matter
+// when counts arrive.
+func TestHistogramBucketSetStable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h").Observe(2) // lands mid-layout
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := countBucketLines(buf.String(), "h_bucket")
+	if want := numHistBuckets + 1; first != want {
+		t.Fatalf("one observation exposed %d buckets, want all %d", first, want)
+	}
+	reg.Histogram("h").Observe(0.5e-6) // earlier bucket fills in later
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if second := countBucketLines(buf.String(), "h_bucket"); second != first {
+		t.Errorf("bucket set changed between scrapes: %d then %d", first, second)
+	}
+}
+
+func countBucketLines(out, prefix string) int {
+	n := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix+"{") {
+			n++
+		}
+	}
+	return n
+}

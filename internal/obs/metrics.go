@@ -2,6 +2,8 @@ package obs
 
 import (
 	"math"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -40,6 +42,27 @@ const (
 	MetricChaosConns    = "spa_chaos_conns_total"
 	MetricChaosFaults   = "spa_chaos_faults_total"
 	MetricChaosRefusals = "spa_chaos_refusals_total"
+
+	// In-flight simulation runs (gauge): RunStarted adds, RunDone
+	// subtracts, so /metrics shows live concurrency rather than only
+	// cumulative counters.
+	MetricRunsInflight = "spa_runs_inflight"
+
+	// Labeled families. Per-benchmark run attribution (campaigns mix
+	// benchmarks in one process), per-worker fleet gauges folded by the
+	// coordinator from wire telemetry (the signals adaptive scheduling
+	// consumes), per-chaos-scenario fault attribution, and the adaptive
+	// CI convergence trace (one gauge update per refinement round).
+	MetricBenchmarkRuns            = "spa_benchmark_runs_total"              // {benchmark}
+	MetricDistWorkerThroughput     = "spa_dist_worker_throughput_runs_per_s" // {worker}
+	MetricDistWorkerInflight       = "spa_dist_worker_inflight"              // {worker}
+	MetricDistWorkerRunsServed     = "spa_dist_worker_runs_served"           // {worker}
+	MetricDistWorkerMeanRunSeconds = "spa_dist_worker_run_seconds_mean"      // {worker}
+	MetricDistWorkerChunks         = "spa_dist_worker_chunks_total"          // {worker}
+	MetricChaosFaultsByKind        = "spa_chaos_fault_total"                 // {kind}
+	MetricCIConvergence            = "spa_ci_convergence"                    // {entry,metric,method} current width
+	MetricCIConvergenceRuns        = "spa_ci_convergence_runs"               // {entry,metric,method}
+	MetricCIConvergenceTarget      = "spa_ci_convergence_target"             // {entry,metric,method}
 )
 
 // Counter is a monotonically increasing integer metric. Nil counters
@@ -87,6 +110,24 @@ func (g *Gauge) Value() float64 {
 	}
 	return math.Float64frombits(g.bits.Load())
 }
+
+// Add increases the gauge by d (CAS on the float bits, lock-free and
+// safe from any number of goroutines). Nil gauges absorb the call.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Sub decreases the gauge by d.
+func (g *Gauge) Sub(d float64) { g.Add(-d) }
 
 // numHistBuckets is the number of finite histogram buckets.
 const numHistBuckets = 18
@@ -229,4 +270,68 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// Labels is one metric label set. Key order never matters: the registry
+// canonicalizes to sorted `k="v"` form, so L{"a":"1","b":"2"} and
+// L{"b":"2","a":"1"} name the same series.
+type Labels map[string]string
+
+// labelEscaper quotes label values per the Prometheus text format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// SeriesKey canonicalizes a labeled series name: the family name followed
+// by a sorted `{k="v",...}` block (or the bare name for empty labels).
+// This is the registry's storage key and, verbatim, the Prometheus series
+// identity, which keeps exposition a string copy.
+func SeriesKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CounterL returns the counter for one (name, label set) series, creating
+// it on first use. The unlabeled fast path (Counter) is untouched: a
+// labeled lookup pays one canonicalization, after which callers should
+// hold the returned *Counter for hot paths.
+func (r *Registry) CounterL(name string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Counter(SeriesKey(name, labels))
+}
+
+// GaugeL returns the gauge for one (name, label set) series.
+func (r *Registry) GaugeL(name string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.Gauge(SeriesKey(name, labels))
+}
+
+// HistogramL returns the histogram for one (name, label set) series.
+func (r *Registry) HistogramL(name string, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Histogram(SeriesKey(name, labels))
 }

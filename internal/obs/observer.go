@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync/atomic"
 	"time"
 )
 
@@ -12,6 +13,31 @@ type Observer struct {
 	Tracer   *Tracer
 	Metrics  *Registry
 	Progress *Progress
+	// status is the /statusz source (see SetStatus); holds a func() any.
+	status atomic.Value
+}
+
+// SetStatus installs the /statusz source: a function returning any
+// JSON-marshalable value describing the component's live state (campaign
+// progress, chunk tables, worker fleets). The last caller wins; layers
+// that own the richest state (the campaign runner, the worker CLI)
+// install theirs at startup. Nil-safe.
+func (o *Observer) SetStatus(fn func() any) {
+	if o == nil || fn == nil {
+		return
+	}
+	o.status.Store(fn)
+}
+
+// StatusFn returns the installed /statusz source (nil when absent).
+func (o *Observer) StatusFn() func() any {
+	if o == nil {
+		return nil
+	}
+	if fn, ok := o.status.Load().(func() any); ok {
+		return fn
+	}
+	return nil
 }
 
 // nop-safe accessors: a nil Observer yields nil components, which are
@@ -52,6 +78,7 @@ func (o *Observer) RunStarted() {
 		return
 	}
 	o.M().Counter(MetricRunsStarted).Inc()
+	o.M().Gauge(MetricRunsInflight).Add(1)
 }
 
 // RunDone records one completed simulation run: counters, the duration
@@ -66,7 +93,9 @@ func (o *Observer) RunDone(benchmark string, seed, cycles uint64, err error, sta
 		o.M().Counter(MetricRunsFailed).Inc()
 	} else {
 		o.M().Counter(MetricRunsCompleted).Inc()
+		o.M().CounterL(MetricBenchmarkRuns, Labels{"benchmark": benchmark}).Inc()
 	}
+	o.M().Gauge(MetricRunsInflight).Sub(1)
 	o.M().Histogram(MetricRunDuration).Observe(elapsed.Seconds())
 	o.P().Done(1)
 	if t := o.T(); t != nil {
@@ -93,4 +122,22 @@ func (o *Observer) CIBuilt(method string, width float64, err error) {
 	}
 	o.M().Counter(MetricCIBuilt).Inc()
 	o.M().Histogram(MetricCIWidth).Observe(width)
+}
+
+// ConvergenceRound records one adaptive refinement round of the
+// AnalyzeToWidth loop: a "ci.round" trace event plus the labeled
+// spa_ci_convergence gauges (current width, runs so far, target width),
+// so the stopping rule's trajectory is visible at /metrics instead of
+// being a black box.
+func (o *Observer) ConvergenceRound(entry, metric, method string, runs int, width, target float64) {
+	if o == nil {
+		return
+	}
+	o.M().Counter(MetricAdaptiveRound).Inc()
+	l := Labels{"entry": entry, "metric": metric, "method": method}
+	o.M().GaugeL(MetricCIConvergence, l).Set(width)
+	o.M().GaugeL(MetricCIConvergenceRuns, l).Set(float64(runs))
+	o.M().GaugeL(MetricCIConvergenceTarget, l).Set(target)
+	o.T().Event("ci.round", Str("entry", entry), Str("metric", metric),
+		Str("method", method), Int("runs", runs), F64("width", width), F64("target", target))
 }

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSeries is one parsed sample line.
+type promSeries struct {
+	family string
+	labels string // canonical block incl. braces, "" when unlabeled
+	le     string // value of the le label for _bucket series, "" otherwise
+	value  float64
+	isInt  bool
+}
+
+// promDoc is a strictly parsed exposition document.
+type promDoc struct {
+	types  map[string]string       // family -> counter|gauge|histogram
+	series map[string][]promSeries // family (or family_bucket/_sum/_count base) -> samples
+}
+
+// parsePrometheus is a strict line parser for the text format 0.0.4
+// subset WritePrometheus emits. It fails on: series without a TYPE,
+// series of one family split across TYPE blocks, duplicate TYPE lines,
+// malformed label blocks, and non-numeric values.
+func parsePrometheus(t *testing.T, out string) *promDoc {
+	t.Helper()
+	doc := &promDoc{types: map[string]string{}, series: map[string][]promSeries{}}
+	current := ""
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		fail := func(format string, args ...any) {
+			t.Fatalf("line %d %q: %s", ln+1, line, fmt.Sprintf(format, args...))
+		}
+		if line == "" {
+			fail("empty line")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				fail("malformed TYPE line")
+			}
+			fam, typ := parts[2], parts[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				fail("unknown type %q", typ)
+			}
+			if _, dup := doc.types[fam]; dup {
+				fail("family %s declared twice (series split across TYPE blocks)", fam)
+			}
+			doc.types[fam] = typ
+			current = fam
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comments other than TYPE are legal
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			fail("no value")
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			fail("value: %v", err)
+		}
+		s := promSeries{value: v}
+		_, err = strconv.ParseInt(valStr, 10, 64)
+		s.isInt = err == nil
+		s.family, s.labels = familyOf(key)
+		if s.labels != "" {
+			if !strings.HasSuffix(s.labels, "}") {
+				fail("unterminated label block")
+			}
+			for _, pair := range strings.Split(s.labels[1:len(s.labels)-1], `",`) {
+				name, val, ok := strings.Cut(pair, `="`)
+				if !ok {
+					fail("malformed label pair %q", pair)
+				}
+				if name == "le" {
+					s.le = strings.TrimSuffix(val, `"`)
+				}
+			}
+		}
+		// The owning family: strip histogram suffixes for membership.
+		owner := s.family
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.family, suf)
+			if base != s.family && doc.types[base] == "histogram" {
+				owner = base
+				break
+			}
+		}
+		if doc.types[owner] == "" {
+			fail("series %s has no TYPE declaration", key)
+		}
+		if owner != current {
+			fail("series %s outside its family's TYPE block (current %s)", key, current)
+		}
+		doc.series[s.family] = append(doc.series[s.family], s)
+	}
+	return doc
+}
+
+// verifyHistogram checks one histogram family's invariants: the full
+// fixed bucket set per series, monotone non-decreasing cumulative
+// counts, le="+Inf" equal to _count, and _sum/_count present per series.
+func verifyHistogram(t *testing.T, doc *promDoc, fam string) {
+	t.Helper()
+	byBlock := map[string][]promSeries{}
+	for _, s := range doc.series[fam+"_bucket"] {
+		// Strip the trailing le pair to group buckets per series.
+		block := s.labels
+		i := strings.LastIndex(block, "le=")
+		if i < 0 {
+			t.Fatalf("%s bucket without le: %+v", fam, s)
+		}
+		block = strings.TrimSuffix(strings.TrimSuffix(block[:i], ","), "{")
+		byBlock[block] = append(byBlock[block], s)
+	}
+	counts := map[string]float64{}
+	for _, s := range doc.series[fam+"_count"] {
+		counts[strings.Trim(s.labels, "{}")] = s.value
+	}
+	sums := map[string]bool{}
+	for _, s := range doc.series[fam+"_sum"] {
+		sums[strings.Trim(s.labels, "{}")] = true
+	}
+	if len(byBlock) == 0 {
+		t.Fatalf("%s: no bucket series", fam)
+	}
+	for block, buckets := range byBlock {
+		key := strings.Trim(block, "{}")
+		if want := numHistBuckets + 1; len(buckets) != want {
+			t.Errorf("%s{%s}: %d buckets, want the full fixed set of %d", fam, block, len(buckets), want)
+		}
+		prev := -1.0
+		var inf float64
+		for _, b := range buckets {
+			if b.value < prev {
+				t.Errorf("%s{%s}: cumulative bucket counts decrease at le=%s (%g after %g)", fam, block, b.le, b.value, prev)
+			}
+			prev = b.value
+			if b.le == "+Inf" {
+				inf = b.value
+			}
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			t.Errorf("%s{%s}: missing _count", fam, block)
+		}
+		if inf != cnt {
+			t.Errorf("%s{%s}: le=+Inf bucket %g != _count %g", fam, block, inf, cnt)
+		}
+		if !sums[key] {
+			t.Errorf("%s{%s}: missing _sum", fam, block)
+		}
+	}
+}
+
+// TestPrometheusRoundTripCompliance builds a registry exercising every
+// collector shape — counters, gauges, labeled series, histograms both
+// bare and labeled — and round-trips WritePrometheus through the strict
+// parser above.
+func TestPrometheusRoundTripCompliance(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricRunsCompleted).Add(41)
+	reg.CounterL(MetricBenchmarkRuns, Labels{"benchmark": "ferret"}).Add(40)
+	reg.CounterL(MetricBenchmarkRuns, Labels{"benchmark": "x264"}).Inc()
+	reg.Gauge(MetricRunsInflight).Add(3)
+	reg.GaugeL(MetricDistWorkerThroughput, Labels{"worker": "127.0.0.1:9777"}).Set(123.5)
+	reg.GaugeL(MetricDistWorkerThroughput, Labels{"worker": "127.0.0.1:9778"}).Set(99.25)
+	for _, v := range []float64{0.5e-6, 3e-3, 3e-3, 2, 1e9} {
+		reg.Histogram(MetricRunDuration).Observe(v)
+	}
+	reg.HistogramL(MetricRunDuration+"_by_worker", Labels{"worker": "w1"}).Observe(0.25)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := parsePrometheus(t, buf.String())
+
+	if doc.types[MetricRunsCompleted] != "counter" {
+		t.Errorf("runs counter type %q", doc.types[MetricRunsCompleted])
+	}
+	for _, s := range doc.series[MetricRunsCompleted] {
+		if !s.isInt {
+			t.Errorf("counter sample not integer: %+v", s)
+		}
+	}
+	if got := len(doc.series[MetricBenchmarkRuns]); got != 2 {
+		t.Errorf("%d benchmark-labeled counter series, want 2", got)
+	}
+	if doc.types[MetricDistWorkerThroughput] != "gauge" {
+		t.Errorf("throughput type %q", doc.types[MetricDistWorkerThroughput])
+	}
+	if got := len(doc.series[MetricDistWorkerThroughput]); got != 2 {
+		t.Errorf("%d worker throughput series, want 2", got)
+	}
+	verifyHistogram(t, doc, MetricRunDuration)
+	verifyHistogram(t, doc, MetricRunDuration+"_by_worker")
+
+	// The document is stable: a second write parses identically.
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("WritePrometheus is not deterministic for an unchanged registry")
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeTelemetry serves the observer's live telemetry over HTTP on addr
+// (e.g. "localhost:9780" or ":0" for an ephemeral port) in a background
+// goroutine:
+//
+//	/metrics  Prometheus text 0.0.4 (labeled and unlabeled families)
+//	/statusz  JSON from the installed status source (see SetStatus)
+//	/healthz  "ok" liveness probe
+//
+// It returns the bound address and a stop function. The mux is private,
+// so importing obs never pollutes http.DefaultServeMux; telemetry
+// failures never take the campaign down.
+func ServeTelemetry(addr string, o *Observer) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: telemetry listen on %s: %w", addr, err)
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.M().WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var body any
+		if fn := o.StatusFn(); fn != nil {
+			body = fn()
+		} else {
+			// No richer source installed yet: liveness plus uptime, so
+			// /statusz is useful from process start.
+			body = map[string]any{"status": "ok", "uptime_s": time.Since(start).Seconds()}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln) // ErrServerClosed is the normal shutdown path
+	}()
+	stop = func() {
+		_ = srv.Close()
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
+}
