@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/manifest"
+	"repro/internal/sim"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "spad ") || !strings.Contains(buf.String(), "go: go") {
+		t.Errorf("version output wrong:\n%s", buf.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf, nil); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0"}, &buf, nil); err == nil || !strings.Contains(err.Error(), "-data") {
+		t.Errorf("missing -data should error, got %v", err)
+	}
+}
+
+// TestServeSubmitDrain boots the daemon end to end: submit a campaign
+// over HTTP, watch it finish, then stop (the graceful-shutdown path) and
+// require a clean exit.
+func TestServeSubmitDrain(t *testing.T) {
+	var buf bytes.Buffer
+	type boot struct {
+		addr string
+		stop func()
+	}
+	bootCh := make(chan boot, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-data", t.TempDir()}, &buf,
+			func(addr string, stop func()) { bootCh <- boot{addr, stop} })
+	}()
+	var b boot
+	select {
+	case b = <-bootCh:
+	case err := <-done:
+		t.Fatalf("spad exited early: %v\n%s", err, buf.String())
+	}
+
+	m := &manifest.Manifest{
+		Name: "cli", Seed: 3, Scale: 0.05, Runs: 16,
+		Entries:  []manifest.Entry{{Benchmark: "swaptions"}},
+		Analyses: []manifest.Analysis{{Metric: sim.MetricRuntime, F: 0.5, C: 0.9}},
+	}
+	mb, _ := json.Marshal(m)
+	resp, err := http.Post("http://"+b.addr+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"tenant":"cli","manifest":`+string(mb)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d id %q", resp.StatusCode, sub.ID)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get("http://" + b.addr + "/v1/campaigns/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if rec.State == "done" {
+			break
+		}
+		if rec.State == "failed" || rec.State == "cancelled" {
+			t.Fatalf("campaign %s: %s", rec.State, rec.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck in %s", rec.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	b.stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("spad exit: %v\n%s", err, buf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("spad did not exit after stop")
+	}
+	if !strings.Contains(buf.String(), "drained, exiting") {
+		t.Errorf("missing drain log:\n%s", buf.String())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/dist"
@@ -40,6 +41,7 @@ func run(args []string, w io.Writer, ready func(*dist.Worker)) error {
 	fs := flag.NewFlagSet("spaworker", flag.ContinueOnError)
 	listen := fs.String("listen", ":9777", "TCP address to serve on (host:port; port 0 picks a free port)")
 	parallel := fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight chunks on SIGINT/SIGTERM before closing hard")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "DEV ONLY: inject deterministic transport faults seeded by this value (0 disables)")
 	chaosProfile := fs.String("chaos-profile", "all", "DEV ONLY: comma-separated fault scenarios for -chaos-seed (delay,stall,close,partial,dup,refuse or all)")
 	version := fs.Bool("version", false, "print build information and exit")
@@ -85,8 +87,10 @@ func run(args []string, w io.Writer, ready func(*dist.Worker)) error {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			s := <-sig
-			fmt.Fprintf(w, "spaworker: %v, shutting down\n", s)
-			worker.Close()
+			fmt.Fprintf(w, "spaworker: %v, draining (in-flight chunks finish, new ones are refused)\n", s)
+			if err := worker.Shutdown(*drainTimeout); err != nil {
+				fmt.Fprintf(w, "spaworker: drain: %v\n", err)
+			}
 		}()
 	}
 

@@ -1,0 +1,195 @@
+package campaignd
+
+import "sort"
+
+// scheduler implements weighted deficit round robin across tenants with
+// FIFO order within a tenant — the shape Bulychev-style chunked SMC
+// wants: campaigns are schedulable units with a known cost (simulated
+// runs), tenants take turns accruing credit, and a campaign starts when
+// its tenant's accumulated deficit covers its cost. The active list is a
+// FIFO of tenants, so every tenant with queued work is visited once per
+// rotation and none starves regardless of priorities.
+//
+// The scheduler is pure bookkeeping: no goroutines, no clock, no IO. The
+// Service drives it under its own lock, which is what makes its decisions
+// easy to test deterministically.
+type scheduler struct {
+	// quantum is the credit (in simulated runs) a weight-1 tenant accrues
+	// per visit.
+	quantum int
+	// tenantRunningCap bounds concurrently running campaigns per tenant.
+	tenantRunningCap int
+
+	tenants map[string]*tenantQueue
+	// active is the DRR rotation: tenants with queued campaigns, visited
+	// FIFO. A tenant appears at most once (tenantQueue.active).
+	active []string
+}
+
+// tenantQueue is one tenant's scheduler state.
+type tenantQueue struct {
+	queue   []*Record // FIFO of queued campaigns
+	deficit int       // accrued credit, in runs
+	running int       // campaigns currently executing
+	active  bool      // present in the rotation list
+}
+
+func newScheduler(quantum, tenantRunningCap int) *scheduler {
+	if quantum <= 0 {
+		quantum = 256
+	}
+	if tenantRunningCap <= 0 {
+		tenantRunningCap = 2
+	}
+	return &scheduler{
+		quantum:          quantum,
+		tenantRunningCap: tenantRunningCap,
+		tenants:          make(map[string]*tenantQueue),
+	}
+}
+
+func (s *scheduler) tenant(name string) *tenantQueue {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantQueue{}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// enqueue appends a campaign to its tenant's FIFO and joins the tenant
+// into the rotation if absent.
+func (s *scheduler) enqueue(rec *Record) {
+	t := s.tenant(rec.Spec.Tenant)
+	t.queue = append(t.queue, rec)
+	if !t.active {
+		t.active = true
+		s.active = append(s.active, rec.Spec.Tenant)
+	}
+}
+
+// remove deletes a queued campaign (the cancel path); false if absent.
+func (s *scheduler) remove(id string) bool {
+	for _, t := range s.tenants {
+		for i, rec := range t.queue {
+			if rec.ID == id {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// queueDepth is the tenant's queued-campaign count (admission control).
+func (s *scheduler) queueDepth(tenant string) int {
+	if t := s.tenants[tenant]; t != nil {
+		return len(t.queue)
+	}
+	return 0
+}
+
+// running is the tenant's in-flight campaign count.
+func (s *scheduler) runningCount(tenant string) int {
+	if t := s.tenants[tenant]; t != nil {
+		return t.running
+	}
+	return 0
+}
+
+// next picks up to slots campaigns to start, in DRR order, marking their
+// tenants' running counts. Each visited tenant accrues quantum×weight
+// credit and dequeues head campaigns while the credit covers their cost;
+// a tenant at its running cap is parked without credit (its turn is not
+// spent waiting). The loop terminates when slots are exhausted or a full
+// rotation made no progress and accrued no credit.
+func (s *scheduler) next(slots int) []*Record {
+	var out []*Record
+	parked := 0 // consecutive visits that neither credited nor dequeued
+	for slots > 0 && len(s.active) > 0 && parked < len(s.active) {
+		name := s.active[0]
+		s.active = s.active[1:]
+		t := s.tenants[name]
+		if len(t.queue) == 0 {
+			t.active = false
+			t.deficit = 0
+			continue
+		}
+		if t.running >= s.tenantRunningCap {
+			// Parked: stays in rotation but accrues nothing while capped,
+			// so a tenant cannot bank unbounded credit it can't use.
+			s.active = append(s.active, name)
+			parked++
+			continue
+		}
+		parked = 0
+		t.deficit += s.quantum * t.queue[0].Weight
+		for len(t.queue) > 0 && slots > 0 && t.running < s.tenantRunningCap && t.queue[0].Cost <= t.deficit {
+			rec := t.queue[0]
+			t.queue = t.queue[1:]
+			t.deficit -= rec.Cost
+			t.running++
+			slots--
+			out = append(out, rec)
+		}
+		if len(t.queue) > 0 {
+			s.active = append(s.active, name)
+		} else {
+			// An emptied queue forfeits leftover credit: deficits reward
+			// waiting work, not idle tenants.
+			t.active = false
+			t.deficit = 0
+		}
+	}
+	return out
+}
+
+// finished returns a tenant's running slot (campaign completed,
+// cancelled, failed, or requeued by a drain).
+func (s *scheduler) finished(tenant string) {
+	if t := s.tenants[tenant]; t != nil && t.running > 0 {
+		t.running--
+	}
+}
+
+// TenantStatus is one tenant's row in the /v1/queue snapshot.
+type TenantStatus struct {
+	Tenant  string   `json:"tenant"`
+	Queued  []string `json:"queued,omitempty"` // campaign IDs, FIFO order
+	Running int      `json:"running"`
+	Deficit int      `json:"deficit"`
+}
+
+// snapshot lists per-tenant queue state, rotation order first, then
+// inactive tenants with running campaigns (sorted by name at the call
+// site if needed — the rotation order itself is informative).
+func (s *scheduler) snapshot() []TenantStatus {
+	seen := make(map[string]bool, len(s.tenants))
+	var out []TenantStatus
+	add := func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		t := s.tenants[name]
+		st := TenantStatus{Tenant: name, Running: t.running, Deficit: t.deficit}
+		for _, rec := range t.queue {
+			st.Queued = append(st.Queued, rec.ID)
+		}
+		out = append(out, st)
+	}
+	for _, name := range s.active {
+		add(name)
+	}
+	rest := make([]string, 0, len(s.tenants))
+	for name, t := range s.tenants {
+		if t.running > 0 && !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		add(name)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package campaignd
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mkRec builds a scheduler-only record (no manifest needed: the
+// scheduler reads Cost/Weight/ID/Tenant and nothing else).
+func mkRec(id, tenant string, cost, weight int) *Record {
+	return &Record{ID: id, Spec: Spec{Tenant: tenant}, Cost: cost, Weight: weight, State: StateQueued}
+}
+
+func ids(recs []*Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Equal-weight tenants with equal-cost campaigns must alternate strictly:
+// one campaign per tenant per rotation, FIFO within each tenant.
+func TestSchedulerAlternatesEqualTenants(t *testing.T) {
+	s := newScheduler(100, 10)
+	for _, id := range []string{"a1", "a2", "a3"} {
+		s.enqueue(mkRec(id, "alpha", 100, 1))
+	}
+	for _, id := range []string{"b1", "b2", "b3"} {
+		s.enqueue(mkRec(id, "beta", 100, 1))
+	}
+	got := ids(s.next(6))
+	want := []string{"a1", "b1", "a2", "b2", "a3", "b3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DRR order = %v, want %v", got, want)
+	}
+}
+
+// A weight-2 tenant accrues credit twice as fast, so it starts two
+// campaigns per rotation against a weight-1 tenant's one.
+func TestSchedulerWeightsShare(t *testing.T) {
+	s := newScheduler(100, 10)
+	for _, id := range []string{"a1", "a2", "a3"} {
+		s.enqueue(mkRec(id, "alpha", 100, 2))
+	}
+	for _, id := range []string{"b1", "b2", "b3"} {
+		s.enqueue(mkRec(id, "beta", 100, 1))
+	}
+	got := ids(s.next(6))
+	want := []string{"a1", "a2", "b1", "a3", "b2", "b3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("weighted DRR order = %v, want %v", got, want)
+	}
+}
+
+// A campaign costing several quanta starts only after its tenant
+// accrues enough credit — and the accrual must not block other tenants.
+func TestSchedulerCostAccrual(t *testing.T) {
+	s := newScheduler(10, 10)
+	s.enqueue(mkRec("big", "alpha", 25, 1))
+	s.enqueue(mkRec("small", "beta", 5, 1))
+	got := ids(s.next(2))
+	// beta's cheap campaign must not wait for alpha's three accrual
+	// visits (10, 20, 30 ≥ 25).
+	want := []string{"small", "big"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+// A tenant at its running cap is parked without accruing credit; its
+// queue drains only after a slot frees.
+func TestSchedulerRunningCapParks(t *testing.T) {
+	s := newScheduler(100, 1)
+	s.enqueue(mkRec("a1", "alpha", 100, 1))
+	s.enqueue(mkRec("a2", "alpha", 100, 1))
+	s.enqueue(mkRec("b1", "beta", 100, 1))
+	got := ids(s.next(3))
+	want := []string{"a1", "b1"} // a2 parked: alpha at cap
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("capped order = %v, want %v", got, want)
+	}
+	if d := s.queueDepth("alpha"); d != 1 {
+		t.Fatalf("alpha queue depth = %d, want 1", d)
+	}
+	// No slot frees: another pass starts nothing (and must terminate).
+	if extra := s.next(3); len(extra) != 0 {
+		t.Fatalf("pass with capped tenant started %v", ids(extra))
+	}
+	s.finished("alpha")
+	got = ids(s.next(3))
+	if !reflect.DeepEqual(got, []string{"a2"}) {
+		t.Fatalf("after slot freed = %v, want [a2]", got)
+	}
+}
+
+// An emptied queue forfeits leftover deficit: an idle tenant cannot bank
+// credit and later burst past the rotation.
+func TestSchedulerForfeitsDeficitWhenIdle(t *testing.T) {
+	s := newScheduler(100, 10)
+	s.enqueue(mkRec("a1", "alpha", 10, 1)) // visit leaves 90 credit
+	if got := ids(s.next(1)); !reflect.DeepEqual(got, []string{"a1"}) {
+		t.Fatalf("first pass = %v", got)
+	}
+	s.enqueue(mkRec("a2", "alpha", 100, 1))
+	s.enqueue(mkRec("b1", "beta", 100, 1))
+	got := ids(s.next(2))
+	// alpha re-enters with zero deficit, so it has no head start; the
+	// rotation is FIFO by (re-)activation order.
+	want := []string{"a2", "b1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-idle order = %v, want %v", got, want)
+	}
+	if s.tenants["alpha"].deficit != 0 {
+		t.Fatalf("alpha kept %d deficit after emptying", s.tenants["alpha"].deficit)
+	}
+}
+
+// remove (the cancel path) deletes a queued campaign wherever it sits.
+func TestSchedulerRemove(t *testing.T) {
+	s := newScheduler(100, 10)
+	s.enqueue(mkRec("a1", "alpha", 100, 1))
+	s.enqueue(mkRec("a2", "alpha", 100, 1))
+	if !s.remove("a1") {
+		t.Fatal("remove(a1) = false")
+	}
+	if s.remove("a1") {
+		t.Fatal("double remove succeeded")
+	}
+	if got := ids(s.next(2)); !reflect.DeepEqual(got, []string{"a2"}) {
+		t.Fatalf("after remove = %v, want [a2]", got)
+	}
+}
+
+// snapshot reports rotation order first and is deterministic.
+func TestSchedulerSnapshot(t *testing.T) {
+	s := newScheduler(100, 10)
+	s.enqueue(mkRec("b1", "beta", 100, 1))
+	s.enqueue(mkRec("a1", "alpha", 100, 1))
+	snap := s.snapshot()
+	if len(snap) != 2 || snap[0].Tenant != "beta" || snap[1].Tenant != "alpha" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	if !reflect.DeepEqual(snap[0].Queued, []string{"b1"}) {
+		t.Fatalf("beta queue = %v", snap[0].Queued)
+	}
+}

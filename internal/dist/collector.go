@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +15,13 @@ import (
 // assembles the population through the same code path local generation
 // uses, so the two are byte-identical for the same manifest seed.
 func (c *Coordinator) GeneratePopulation(benchmark string, cfg sim.Config, scale float64, runs int, baseSeed uint64, h population.RunHooks) (*population.Population, error) {
-	results, err := c.Run(Job{Benchmark: benchmark, Config: cfg, Scale: scale}, baseSeed, runs, h)
+	return c.GeneratePopulationCtx(context.Background(), benchmark, cfg, scale, runs, baseSeed, h)
+}
+
+// GeneratePopulationCtx is GeneratePopulation with cooperative
+// cancellation (see RunCtx).
+func (c *Coordinator) GeneratePopulationCtx(ctx context.Context, benchmark string, cfg sim.Config, scale float64, runs int, baseSeed uint64, h population.RunHooks) (*population.Population, error) {
+	results, err := c.RunCtx(ctx, Job{Benchmark: benchmark, Config: cfg, Scale: scale}, baseSeed, runs, h)
 	if err != nil {
 		return nil, err
 	}
@@ -36,11 +43,19 @@ func (c *Coordinator) DistCollect(job Job, metric string, baseSeed uint64, n int
 // core.Collector, so Analyze/AnalyzeToWidth/CheckBatched can consume a
 // remote backend unchanged.
 func (c *Coordinator) Collector(job Job, metric string) core.Collector {
-	return &metricCollector{c: c, job: job, metric: metric}
+	return c.CollectorCtx(context.Background(), job, metric)
+}
+
+// CollectorCtx is Collector bound to a context: every Collect the
+// analysis loop issues is cancelled with it. core.Collector has no ctx
+// parameter, so the binding happens here.
+func (c *Coordinator) CollectorCtx(ctx context.Context, job Job, metric string) core.Collector {
+	return &metricCollector{c: c, ctx: ctx, job: job, metric: metric}
 }
 
 type metricCollector struct {
 	c      *Coordinator
+	ctx    context.Context
 	job    Job
 	metric string
 }
@@ -49,7 +64,7 @@ type metricCollector struct {
 // in-flight parallelism is governed by each worker's own limit (and the
 // coordinator's for local fallback), which cannot change sample values.
 func (mc *metricCollector) Collect(baseSeed uint64, n, batch int, h core.Hooks) ([]float64, error) {
-	results, err := mc.c.Run(mc.job, baseSeed, n, adaptHooks(mc.metric, h))
+	results, err := mc.c.RunCtx(mc.ctx, mc.job, baseSeed, n, adaptHooks(mc.metric, h))
 	if err != nil {
 		return nil, err
 	}

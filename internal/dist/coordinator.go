@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -39,8 +40,11 @@ type RunResult struct {
 // them across the configured workers, re-dispatching on failure and
 // degrading to in-process execution when no worker is reachable. The
 // zero value with no Workers is a purely local runner. A Coordinator is
-// safe for sequential reuse across jobs; fields must not be mutated
-// while Run is in flight.
+// safe for concurrent Run calls — the campaign service runs many
+// tenants' jobs through one shared instance so fleet telemetry, chunk
+// accounting, and the local-fallback parallelism bound accumulate in
+// one place; configuration fields must not be mutated once the first
+// Run is in flight.
 type Coordinator struct {
 	// Workers are worker addresses (host:port). Empty means run
 	// everything in-process.
@@ -82,6 +86,12 @@ type Coordinator struct {
 	stMu     sync.Mutex
 	jobSt    *jobState
 	workerSt map[string]*workerState
+
+	// localSem bounds in-process execution across every concurrent job
+	// (lazily sized from Parallelism), so campaigns degrading to local
+	// runs share one CPU budget instead of multiplying it.
+	localOnce sync.Once
+	localSem  chan struct{}
 }
 
 func (c *Coordinator) chunkSize() int {
@@ -201,6 +211,15 @@ func (st *runState) finished() (bool, error) {
 // chunk size, or arrival order. Hooks (may be zero) observe runs as
 // their chunks commit.
 func (c *Coordinator) Run(job Job, baseSeed uint64, n int, h population.RunHooks) ([]RunResult, error) {
+	return c.RunCtx(context.Background(), job, baseSeed, n, h)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is cancelled the
+// job fails with the context's error at the next chunk boundary —
+// in-flight runs finish (a simulator run is not interruptible) but no
+// new chunk is dispatched or launched. The campaign service's DELETE
+// and drain paths ride on this.
+func (c *Coordinator) RunCtx(ctx context.Context, job Job, baseSeed uint64, n int, h population.RunHooks) ([]RunResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dist: non-positive run count %d", n)
 	}
@@ -228,6 +247,21 @@ func (c *Coordinator) Run(job Job, baseSeed uint64, n int, h population.RunHooks
 	span := c.Obs.T().StartSpan("dist.job", obs.Str("benchmark", job.Benchmark),
 		obs.U64("base_seed", baseSeed), obs.Int("runs", n),
 		obs.Int("chunks", numChunks), obs.Int("workers", len(c.Workers)))
+
+	// Cancellation fails the run state, which every dispatch and local
+	// loop already observes at chunk boundaries.
+	if ctx.Done() != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-ctx.Done():
+				st.fail(context.Cause(ctx))
+			case <-stopWatch:
+			case <-st.done:
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for _, addr := range c.Workers {
@@ -479,15 +513,25 @@ func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st
 	}
 }
 
+// localSemaphore returns the process-wide in-process execution bound,
+// shared by every concurrent job so N campaigns degrading locally still
+// run at most Parallelism simulations at once.
+func (c *Coordinator) localSemaphore() chan struct{} {
+	c.localOnce.Do(func() {
+		par := c.Parallelism
+		if par <= 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		c.localSem = make(chan struct{}, par)
+	})
+	return c.localSem
+}
+
 // runLocal executes every still-queued chunk in-process — the
 // degradation path, and the whole path when no workers are configured.
 // It uses the same chunk/commit machinery so determinism is shared.
 func (c *Coordinator) runLocal(job Job, baseSeed uint64, st *runState, queue chan *chunk, h population.RunHooks) {
-	par := c.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, par)
+	sem := c.localSemaphore()
 	var wg sync.WaitGroup
 	for {
 		var ch *chunk

@@ -7,13 +7,20 @@ import (
 	"repro/internal/obs"
 )
 
-// CoordinatorStatus is the coordinator's /statusz snapshot: the current
-// (or last) job's chunk accounting plus a per-worker table folded from
+// CoordinatorStatus is the coordinator's /statusz snapshot: cumulative
+// chunk accounting across every job it has run (jobs may overlap when
+// campaigns share the coordinator) plus a per-worker table folded from
 // wire telemetry. Zero-valued before any Run.
 type CoordinatorStatus struct {
-	Benchmark       string              `json:"benchmark,omitempty"`
+	// Benchmark is the most recently submitted job's benchmark.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Runs/Chunks accumulate across jobs; JobsActive counts Run calls in
+	// flight right now, and Done is true when the coordinator has run at
+	// least one job and none is in flight.
 	Runs            int                 `json:"runs"`
 	Chunks          int                 `json:"chunks"`
+	JobsStarted     int                 `json:"jobs_started,omitempty"`
+	JobsActive      int                 `json:"jobs_active,omitempty"`
 	ChunksCompleted int                 `json:"chunks_completed"`
 	ChunksInFlight  int                 `json:"chunks_in_flight"`
 	Redispatches    int                 `json:"redispatches"`
@@ -50,16 +57,20 @@ type workerState struct {
 	lastTime time.Time
 }
 
-// jobState is the chunk accounting for the job in flight.
+// jobState is the coordinator's cumulative chunk accounting. Jobs from
+// concurrent campaigns fold into the same tallies; jobsActive tracks how
+// many Run calls are in flight so "done" means the whole coordinator is
+// quiescent, not that one job finished.
 type jobState struct {
 	benchmark       string
 	runs            int
 	chunks          int
+	jobsStarted     int
+	jobsActive      int
 	chunksCompleted int
 	chunksInFlight  int
 	redispatches    int
 	localChunks     int
-	done            bool
 	lastError       string
 }
 
@@ -68,26 +79,33 @@ type jobState struct {
 // cumulative numbers.
 const throughputWindow = 100 * time.Millisecond
 
-// beginJob resets the chunk accounting for a new Run. Worker rows
+// beginJob folds a new Run into the cumulative accounting. Worker rows
 // persist across jobs of one coordinator (the fleet is the same), their
 // chunk counts keep accumulating.
 func (c *Coordinator) beginJob(job Job, runs, chunks int) {
 	c.stMu.Lock()
 	defer c.stMu.Unlock()
-	c.jobSt = &jobState{benchmark: job.Benchmark, runs: runs, chunks: chunks}
+	if c.jobSt == nil {
+		c.jobSt = &jobState{}
+	}
+	c.jobSt.benchmark = job.Benchmark
+	c.jobSt.runs += runs
+	c.jobSt.chunks += chunks
+	c.jobSt.jobsStarted++
+	c.jobSt.jobsActive++
 	if c.workerSt == nil {
 		c.workerSt = make(map[string]*workerState)
 	}
 }
 
-// endJob marks the job finished, recording its terminal error if any.
+// endJob retires one Run, recording its terminal error if any.
 func (c *Coordinator) endJob(err error) {
 	c.stMu.Lock()
 	defer c.stMu.Unlock()
 	if c.jobSt == nil {
 		return
 	}
-	c.jobSt.done = true
+	c.jobSt.jobsActive--
 	if err != nil {
 		c.jobSt.lastError = err.Error()
 	}
@@ -183,11 +201,13 @@ func (c *Coordinator) Status() CoordinatorStatus {
 			Benchmark:       c.jobSt.benchmark,
 			Runs:            c.jobSt.runs,
 			Chunks:          c.jobSt.chunks,
+			JobsStarted:     c.jobSt.jobsStarted,
+			JobsActive:      c.jobSt.jobsActive,
 			ChunksCompleted: c.jobSt.chunksCompleted,
 			ChunksInFlight:  c.jobSt.chunksInFlight,
 			Redispatches:    c.jobSt.redispatches,
 			LocalChunks:     c.jobSt.localChunks,
-			Done:            c.jobSt.done,
+			Done:            c.jobSt.jobsStarted > 0 && c.jobSt.jobsActive == 0,
 			LastError:       c.jobSt.lastError,
 		}
 	}

@@ -46,11 +46,16 @@ type Worker struct {
 	// Obs receives spans and counters for served chunks; nil disables.
 	Obs *obs.Observer
 
-	ln     net.Listener
-	sem    chan struct{}
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	ln       net.Listener
+	sem      chan struct{}
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+
+	// activeChunks counts chunks currently streaming; Shutdown waits for
+	// it to reach zero before tearing connections down.
+	activeChunks atomic.Int64
 
 	// Lifetime run accounting, the source of the wire telemetry
 	// snapshots and Status: total runs completed, cumulative run wall
@@ -171,7 +176,7 @@ func (w *Worker) Serve() error {
 		nc, err := w.ln.Accept()
 		if err != nil {
 			w.mu.Lock()
-			closed := w.closed
+			closed := w.closed || w.draining
 			w.mu.Unlock()
 			if closed {
 				return nil
@@ -190,6 +195,32 @@ func (w *Worker) Serve() error {
 	}
 }
 
+// Shutdown drains the worker gracefully: it stops accepting new
+// connections, refuses chunk requests arriving on existing ones (their
+// coordinators re-dispatch to the rest of the fleet), and waits up to
+// timeout for in-flight chunks to finish streaming before tearing the
+// connections down. This is the SIGINT/SIGTERM path — a worker leaving
+// a fleet this way never costs a coordinator more than a re-dispatch.
+func (w *Worker) Shutdown(timeout time.Duration) error {
+	w.mu.Lock()
+	if w.closed || w.draining {
+		w.mu.Unlock()
+		return w.Close()
+	}
+	w.draining = true
+	ln := w.ln
+	w.mu.Unlock()
+	if ln != nil {
+		ln.Close() // Serve's accept loop sees draining and returns nil
+	}
+	deadline := time.Now().Add(timeout)
+	for w.activeChunks.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	w.Close()
+	return nil
+}
+
 // Close stops accepting and tears down every live connection, aborting
 // in-flight chunks (their coordinators will re-dispatch elsewhere).
 func (w *Worker) Close() error {
@@ -206,7 +237,9 @@ func (w *Worker) Close() error {
 	w.mu.Unlock()
 	var err error
 	if w.ln != nil {
-		err = w.ln.Close()
+		if cerr := w.ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			err = cerr // Shutdown already closed the listener: not an error
+		}
 	}
 	for _, nc := range conns {
 		nc.Close()
@@ -252,6 +285,16 @@ func (w *Worker) serveConn(nc net.Conn) {
 				return
 			}
 		case frameRunChunk:
+			w.mu.Lock()
+			draining := w.draining
+			w.mu.Unlock()
+			if draining {
+				// Refuse by closing: the coordinator sees a transport
+				// failure and re-dispatches the chunk to another worker —
+				// never an execution error, which would abort its job.
+				w.Obs.T().Event("dist.worker_drain_refuse", obs.Str("peer", c.addr))
+				return
+			}
 			if err := w.runChunk(c, f); err != nil {
 				return
 			}
@@ -271,6 +314,8 @@ func (w *Worker) runChunk(c *conn, req frame) error {
 		obs.Int("start", req.Start), obs.Int("count", req.Count))
 	w.Obs.M().Counter(obs.MetricDistChunksServed).Inc()
 	w.chunks.Add(1)
+	w.activeChunks.Add(1)
+	defer w.activeChunks.Add(-1)
 	// Telemetry piggybacks are version-gated: a v1 coordinator never sees
 	// the field, so old fleets interoperate unchanged.
 	sendTelemetry := c.version >= telemetryVersion

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/population"
 	"repro/internal/sim"
 )
 
@@ -405,4 +406,64 @@ func startWorkerWith(t *testing.T, w *Worker) string {
 		}
 	})
 	return w.Addr()
+}
+
+// TestWorkerShutdownIdle: with no chunks in flight, Shutdown returns
+// promptly and Serve unwinds cleanly.
+func TestWorkerShutdownIdle(t *testing.T) {
+	w := &Worker{}
+	if err := w.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Serve() }()
+	if err := w.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("idle shutdown: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve after shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after shutdown")
+	}
+}
+
+// TestWorkerShutdownMidJob drains the worker while a coordinator's job
+// is in flight: in-flight chunks finish, refused chunks re-dispatch (here
+// to local fallback), and the job's population stays byte-identical to a
+// local run — graceful worker restarts never corrupt campaigns.
+func TestWorkerShutdownMidJob(t *testing.T) {
+	w := &Worker{Parallelism: 1}
+	addr := startWorkerWith(t, w)
+	c := fastCoord(addr)
+
+	const runs = 48
+	popCh := make(chan *population.Population, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		p, err := c.GeneratePopulation(testBench, sim.DefaultConfig(), testScale, runs, testSeed, population.RunHooks{})
+		popCh <- p
+		errCh <- err
+	}()
+	// Wait until the worker has actually served work, then drain it.
+	deadline := time.Now().Add(10 * time.Second)
+	for w.Status().ChunksServed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never received a chunk")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Shutdown(30 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := w.Status().InFlight; got != 0 {
+		t.Fatalf("%d chunks still in flight after drain", got)
+	}
+	pop := <-popCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("job failed across worker drain: %v", err)
+	}
+	checkPopEqual(t, pop, localPop(t, runs))
 }

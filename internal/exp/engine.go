@@ -379,10 +379,14 @@ func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c floa
 		return nil, err
 	}
 	evals := make([]MethodEval, len(methods))
-	widthSums := make([]float64, len(methods))
 	for i, m := range methods {
 		evals[i].Method = m
 	}
+	// Each trial writes its widths into its own slot; the final reduction
+	// walks trials in index order, so the float sum is identical for any
+	// worker count (the integer tallies commute exactly and may still fold
+	// per worker).
+	trialWidths := make([]float64, e.opts.Trials*len(methods))
 	// Trials are independent (per-trial seed streams), so they run on a
 	// worker pool; the tallies are order-independent sums.
 	root := randx.New(e.opts.Seed ^ 0xC1C1)
@@ -401,7 +405,6 @@ func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c floa
 		go func() {
 			defer wg.Done()
 			local := make([]MethodEval, len(methods))
-			localWidth := make([]float64, len(methods))
 			// One sorted scratch buffer per worker: each trial sorts its
 			// draw once and every method reads the sorted view.
 			var sortedBuf []float64
@@ -440,7 +443,7 @@ func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c floa
 					if !iv.Contains(truth) {
 						local[i].Misses++
 					}
-					localWidth[i] += iv.Width()
+					trialWidths[trial*len(methods)+i] = iv.Width()
 				}
 			}
 			mu.Lock()
@@ -448,7 +451,6 @@ func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c floa
 				evals[i].Trials += local[i].Trials
 				evals[i].Nulls += local[i].Nulls
 				evals[i].Misses += local[i].Misses
-				widthSums[i] += localWidth[i]
 			}
 			mu.Unlock()
 		}()
@@ -461,11 +463,15 @@ func (e *Engine) EvaluateCI(pop *population.Population, metric string, f, c floa
 		e.obs.M().Counter(obs.MetricTrials).Add(int64(evals[0].Trials))
 	}
 	for i := range evals {
+		widthSum := 0.0
+		for trial := 0; trial < e.opts.Trials; trial++ {
+			widthSum += trialWidths[trial*len(methods)+i]
+		}
 		produced := evals[i].Trials - evals[i].Nulls
 		if produced > 0 {
 			evals[i].ErrProb = float64(evals[i].Misses) / float64(produced)
 			if truth != 0 {
-				evals[i].MeanNormWidth = widthSums[i] / float64(produced) / truth
+				evals[i].MeanNormWidth = widthSum / float64(produced) / truth
 			}
 		}
 		evals[i].NullRate = float64(evals[i].Nulls) / float64(evals[i].Trials)

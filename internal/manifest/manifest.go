@@ -87,6 +87,10 @@ func (e Entry) Config() (sim.Config, error) {
 	}
 }
 
+// Key identifies the entry — "<benchmark>-<variant>" — naming its
+// population file and its row in campaign-service progress reports.
+func (e Entry) Key() string { return e.key() }
+
 // key identifies the entry's population file.
 func (e Entry) key() string {
 	v := e.Variant

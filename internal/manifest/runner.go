@@ -1,6 +1,7 @@
 package manifest
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -60,6 +61,25 @@ type Report struct {
 	Reused []string `json:"reused,omitempty"`
 }
 
+// Hooks are optional campaign-progress callbacks, fired synchronously
+// from the runner's goroutine. The campaign service journals per-entry
+// progress and live convergence rounds through them; they observe only
+// and must not mutate the manifest or the report.
+type Hooks struct {
+	// OnEntryStart fires before an entry's population is loaded or
+	// simulated.
+	OnEntryStart func(idx int, key string)
+	// OnEntryDone fires after an entry's population is ready (or failed);
+	// reused marks the resume/cache path.
+	OnEntryDone func(idx int, key string, reused bool, err error)
+	// OnAnalysisDone fires after each per-entry analysis completes.
+	OnAnalysisDone func(res AnalysisResult)
+	// OnConvergenceRound fires once per adaptive refinement round, as it
+	// happens — the live view of what the telemetry journal records at
+	// the end.
+	OnConvergenceRound func(rec ConvergenceRound)
+}
+
 // Runner executes manifests.
 type Runner struct {
 	// OutDir receives per-entry population JSONs and the report; it is
@@ -87,6 +107,21 @@ type Runner struct {
 	// a hit is byte-identical to re-simulating; unlike the per-campaign
 	// OutDir resume files it is shared across campaigns and manifests.
 	PopCache *popcache.Cache
+	// Coord, when non-nil, replaces the runner's own lazily-created
+	// coordinator — the campaign service shares one coordinator (and with
+	// it the worker fleet, its telemetry, and the local parallelism
+	// bound) across every tenant's campaigns. When set, all population
+	// generation routes through it, so cancellation applies at chunk
+	// granularity even with no workers configured.
+	Coord *dist.Coordinator
+	// Hooks receive per-entry and per-analysis progress callbacks.
+	Hooks Hooks
+	// StableReport omits resume bookkeeping (the Reused list) from the
+	// report, making the report bytes a pure function of the manifest —
+	// identical whether the campaign ran straight through or was killed
+	// and resumed. The campaign service sets it; the CLI keeps the
+	// human-facing reuse note.
+	StableReport bool
 
 	// coord is the shared dist coordinator behind both worker-backed
 	// population generation and adaptive collection; sharing one instance
@@ -101,6 +136,9 @@ type Runner struct {
 // no Workers configured it degrades to a purely local runner, so it is
 // never nil.
 func (r *Runner) Coordinator() *dist.Coordinator {
+	if r.Coord != nil {
+		return r.Coord
+	}
 	r.coordMu.Lock()
 	defer r.coordMu.Unlock()
 	if r.coord == nil {
@@ -135,6 +173,15 @@ func (r *Runner) TelemetryPath(m *Manifest) string {
 // run every analysis on it, and persist the report. Individual analysis
 // failures are recorded in the report rather than aborting.
 func (r *Runner) Run(m *Manifest) (*Report, error) {
+	return r.RunContext(context.Background(), m)
+}
+
+// RunContext is Run with cooperative cancellation: the campaign stops at
+// the next entry, analysis, or — when generation routes through a
+// coordinator — chunk boundary, returning the context's error. Entry
+// populations already persisted stay on disk, so a later RunContext with
+// the same manifest resumes exactly where this one stopped.
+func (r *Runner) RunContext(ctx context.Context, m *Manifest) (*Report, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,27 +202,47 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 
 	var journal []ConvergenceRound
 	for i, e := range m.Entries {
-		pop, reused, err := r.loadOrGenerate(m, e, i, scale)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("manifest: campaign interrupted before entry %s: %w", e.key(), err)
+		}
+		if r.Hooks.OnEntryStart != nil {
+			r.Hooks.OnEntryStart(i, e.key())
+		}
+		pop, reused, err := r.loadOrGenerate(ctx, m, e, i, scale)
+		if r.Hooks.OnEntryDone != nil {
+			r.Hooks.OnEntryDone(i, e.key(), reused, err)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("manifest: entry %s: %w", e.key(), err)
 		}
-		if reused {
+		if reused && !r.StableReport {
 			report.Reused = append(report.Reused, e.key())
 		}
 		for _, a := range m.Analyses {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("manifest: campaign interrupted during entry %s: %w", e.key(), err)
+			}
 			var res AnalysisResult
 			if a.Adaptive() {
-				res = r.analyzeAdaptive(m, e, i, scale, a)
+				res = r.analyzeAdaptive(ctx, m, e, i, scale, a)
+				if res.Err != "" && ctx.Err() != nil {
+					// A cancelled adaptive collection is an interruption,
+					// not a campaign result.
+					return nil, fmt.Errorf("manifest: campaign interrupted during entry %s: %w", e.key(), ctx.Err())
+				}
 				journal = append(journal, res.Rounds...)
 			} else {
 				res = r.analyze(e, a, pop)
+			}
+			if r.Hooks.OnAnalysisDone != nil {
+				r.Hooks.OnAnalysisDone(res)
 			}
 			report.Results = append(report.Results, res)
 		}
 	}
 
 	if len(journal) > 0 {
-		err := writeFileAtomic(r.TelemetryPath(m), func(w io.Writer) error {
+		err := WriteFileAtomic(r.TelemetryPath(m), func(w io.Writer) error {
 			enc := json.NewEncoder(w)
 			for _, rec := range journal {
 				if err := enc.Encode(rec); err != nil {
@@ -190,7 +257,7 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 		r.logf("convergence journal written to %s", r.TelemetryPath(m))
 	}
 
-	err := writeFileAtomic(r.ReportPath(m), func(w io.Writer) error {
+	err := WriteFileAtomic(r.ReportPath(m), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		return enc.Encode(report)
@@ -202,11 +269,11 @@ func (r *Runner) Run(m *Manifest) (*Report, error) {
 	return report, nil
 }
 
-// writeFileAtomic writes via a temp file in the same directory and
+// WriteFileAtomic writes via a temp file in the same directory and
 // renames it into place, propagating Close errors — so a short write (a
 // full disk, a crash mid-campaign) never leaves a truncated file that
 // the resume path would later load as a valid population.
-func writeFileAtomic(path string, write func(io.Writer) error) error {
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir, base := filepath.Dir(path), filepath.Base(path)
 	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
@@ -275,7 +342,7 @@ func (r *Runner) analyze(e Entry, a Analysis, pop *population.Population) Analys
 // the target width, recording a convergence round — trace event, labeled
 // gauges, journal record — per refinement step. Seeds are the entry's
 // own base-seed range, so the trajectory is replicable run to run.
-func (r *Runner) analyzeAdaptive(m *Manifest, e Entry, idx int, scale float64, a Analysis) AnalysisResult {
+func (r *Runner) analyzeAdaptive(ctx context.Context, m *Manifest, e Entry, idx int, scale float64, a Analysis) AnalysisResult {
 	res := AnalysisResult{
 		Entry: e.key(), Metric: a.Metric, F: a.F, C: a.C,
 		Direction: a.Direction, TargetWidth: a.TargetWidth,
@@ -302,16 +369,20 @@ func (r *Runner) analyzeAdaptive(m *Manifest, e Entry, idx int, scale float64, a
 	}
 	baseSeed := m.Seed + uint64(idx)*1_000_000
 	job := dist.Job{Benchmark: e.Benchmark, Config: cfg, Scale: scale}
-	col := r.Coordinator().Collector(job, a.Metric)
+	col := r.Coordinator().CollectorCtx(ctx, job, a.Metric)
 	round := 0
 	hooks := core.Hooks{
 		OnRound: func(samples int, width float64) {
 			round++
-			res.Rounds = append(res.Rounds, ConvergenceRound{
+			rec := ConvergenceRound{
 				Entry: res.Entry, Metric: a.Metric,
 				Round: round, Samples: samples, Width: width, Target: a.TargetWidth,
-			})
+			}
+			res.Rounds = append(res.Rounds, rec)
 			r.Obs.ConvergenceRound(res.Entry, a.Metric, "SPA", samples, width, a.TargetWidth)
+			if r.Hooks.OnConvergenceRound != nil {
+				r.Hooks.OnConvergenceRound(rec)
+			}
 		},
 	}
 	an, err := core.AnalyzeToWidthWith(col, p, core.WidthOptions{
@@ -337,7 +408,7 @@ func (r *Runner) analyzeAdaptive(m *Manifest, e Entry, idx int, scale float64, a
 }
 
 // loadOrGenerate resumes an entry's population from disk or simulates it.
-func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*population.Population, bool, error) {
+func (r *Runner) loadOrGenerate(ctx context.Context, m *Manifest, e Entry, idx int, scale float64) (*population.Population, bool, error) {
 	path := r.popPath(m, e)
 	if f, err := os.Open(path); err == nil {
 		defer f.Close()
@@ -367,7 +438,7 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 		r.logf("population cache hit for %s (%d runs)", e.key(), pop.Runs)
 		r.Obs.M().Counter(obs.MetricEntriesReused).Inc()
 		r.Obs.T().Event("campaign.cache_hit", obs.Str("entry", e.key()), obs.Int("runs", pop.Runs))
-		if err := writeFileAtomic(path, pop.Save); err != nil {
+		if err := WriteFileAtomic(path, pop.Save); err != nil {
 			return nil, false, err
 		}
 		return pop, true, nil
@@ -378,8 +449,12 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 	r.Obs.P().AddTotal(runs)
 	hooks := population.ObserverHooks(r.Obs, e.Benchmark)
 	var pop *population.Population
-	if len(r.Workers) > 0 {
-		pop, err = r.Coordinator().GeneratePopulation(e.Benchmark, cfg, scale, runs, baseSeed, hooks)
+	if len(r.Workers) > 0 || r.Coord != nil {
+		// The coordinator path covers both worker fleets and — with an
+		// injected coordinator and no workers — bounded in-process
+		// execution with chunk-boundary cancellation; its populations are
+		// byte-identical to GenerateHooked's for the same seeds.
+		pop, err = r.Coordinator().GeneratePopulationCtx(ctx, e.Benchmark, cfg, scale, runs, baseSeed, hooks)
 	} else {
 		pop, err = population.GenerateHooked(e.Benchmark, cfg, scale, runs,
 			baseSeed, r.Parallelism, hooks)
@@ -388,7 +463,7 @@ func (r *Runner) loadOrGenerate(m *Manifest, e Entry, idx int, scale float64) (*
 		return nil, false, err
 	}
 	_ = r.PopCache.Put(ck, pop)
-	if err := writeFileAtomic(path, pop.Save); err != nil {
+	if err := WriteFileAtomic(path, pop.Save); err != nil {
 		return nil, false, err
 	}
 	return pop, false, nil

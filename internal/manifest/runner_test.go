@@ -217,7 +217,7 @@ func TestRunnerResumeTruncatedFile(t *testing.T) {
 func TestWriteFileAtomic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "out.json")
-	if err := writeFileAtomic(path, func(w io.Writer) error {
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
 		_, err := w.Write([]byte("ok"))
 		return err
 	}); err != nil {
@@ -231,7 +231,7 @@ func TestWriteFileAtomic(t *testing.T) {
 	// A failed write must leave neither the target nor temp litter behind.
 	failPath := filepath.Join(dir, "fail.json")
 	boom := errors.New("disk full")
-	if err := writeFileAtomic(failPath, func(w io.Writer) error {
+	if err := WriteFileAtomic(failPath, func(w io.Writer) error {
 		w.Write([]byte("partial"))
 		return boom
 	}); !errors.Is(err, boom) {

@@ -63,6 +63,20 @@ const (
 	MetricCIConvergence            = "spa_ci_convergence"                    // {entry,metric,method} current width
 	MetricCIConvergenceRuns        = "spa_ci_convergence_runs"               // {entry,metric,method}
 	MetricCIConvergenceTarget      = "spa_ci_convergence_target"             // {entry,metric,method}
+
+	// Campaign service (internal/campaignd), all labeled by tenant:
+	// campaigns accepted, admission rejections (reason=queue_full|
+	// inflight_full|server_full), live queue depth and running gauges,
+	// terminal transitions (state=done|failed|cancelled), campaigns
+	// resumed from the journal after a restart, and per-entry progress.
+	MetricCampaignSubmitted   = "spa_campaignd_submitted_total"     // {tenant}
+	MetricCampaignRejected    = "spa_campaignd_rejected_total"      // {tenant,reason}
+	MetricCampaignQueueDepth  = "spa_campaignd_queue_depth"         // {tenant}
+	MetricCampaignRunning     = "spa_campaignd_running"             // {tenant}
+	MetricCampaignDone        = "spa_campaignd_campaigns_total"     // {tenant,state}
+	MetricCampaignResumed     = "spa_campaignd_resumed_total"       // {tenant}
+	MetricCampaignEntriesDone = "spa_campaignd_entries_done_total"  // {tenant}
+	MetricCampaignSchedPasses = "spa_campaignd_scheduler_passes_total"
 )
 
 // Counter is a monotonically increasing integer metric. Nil counters

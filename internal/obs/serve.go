@@ -24,6 +24,24 @@ func ServeTelemetry(addr string, o *Observer) (boundAddr string, stop func(), er
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: telemetry listen on %s: %w", addr, err)
 	}
+	srv := &http.Server{Handler: NewTelemetryMux(o), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln) // ErrServerClosed is the normal shutdown path
+	}()
+	stop = func() {
+		_ = srv.Close()
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// NewTelemetryMux builds the /metrics, /statusz and /healthz handlers on
+// a fresh mux. ServeTelemetry uses it for the standalone endpoint;
+// servers with their own HTTP surface (spad) mount the same handlers
+// next to their API routes so one port serves both.
+func NewTelemetryMux(o *Observer) *http.ServeMux {
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -50,15 +68,5 @@ func ServeTelemetry(addr string, o *Observer) (boundAddr string, stop func(), er
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		_ = srv.Serve(ln) // ErrServerClosed is the normal shutdown path
-	}()
-	stop = func() {
-		_ = srv.Close()
-		<-done
-	}
-	return ln.Addr().String(), stop, nil
+	return mux
 }
