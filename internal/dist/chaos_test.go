@@ -39,7 +39,8 @@ func chaosProfile(scenarios ...faultx.Scenario) faultx.Profile {
 }
 
 // startChaosWorker boots a real worker behind a fault-injecting
-// listener.
+// listener. Batching is tuned aggressively small so the soak exercises
+// many result_batch flush boundaries per chunk, not one big batch.
 func startChaosWorker(t *testing.T, inj *faultx.Injector) *Worker {
 	t.Helper()
 	w := &Worker{
@@ -47,6 +48,8 @@ func startChaosWorker(t *testing.T, inj *faultx.Injector) *Worker {
 		HeartbeatEvery: 50 * time.Millisecond,
 		WriteTimeout:   500 * time.Millisecond,
 		IdleTimeout:    30 * time.Second,
+		BatchRuns:      4,
+		BatchFlush:     5 * time.Millisecond,
 	}
 	return startChaos(t, w, inj)
 }
@@ -76,11 +79,15 @@ func startChaos(t *testing.T, w *Worker, inj *faultx.Injector) *Worker {
 // chaosCoord builds a coordinator with failure handling tuned for
 // soak-test speed and a fault budget large enough that chaos rarely
 // abandons both workers (and byte-identity holds even when it does —
-// the coordinator degrades to local execution).
+// the coordinator degrades to local execution). ChunkTarget is set so
+// the soak runs the adaptive carving path — re-dispatch of variably
+// sized, partially-streamed batched chunks is exactly where scheduling
+// bugs would corrupt assembly.
 func chaosCoord(dial *faultx.Injector, obsv *obs.Observer, addrs ...string) *Coordinator {
 	return &Coordinator{
 		Workers:           addrs,
 		ChunkSize:         3,
+		ChunkTarget:       100 * time.Millisecond,
 		ChunkTimeout:      20 * time.Second,
 		ReadTimeout:       500 * time.Millisecond,
 		WriteTimeout:      500 * time.Millisecond,

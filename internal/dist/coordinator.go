@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -51,8 +52,18 @@ type Coordinator struct {
 	Workers []string
 	// ChunkSize is the number of consecutive seeds per dispatch
 	// (0 = 16). Smaller chunks re-balance faster after a failure;
-	// larger ones amortize framing.
+	// larger ones amortize framing. With ChunkTarget set it is only the
+	// fallback size for peers below protocol v3 and the local path.
 	ChunkSize int
+	// ChunkTarget, when positive, switches chunk carving from fixed
+	// ChunkSize slices to throughput-adaptive sizing: each v3 worker's
+	// next chunk is sized from its observed runs/sec (wire telemetry,
+	// seeded by hello_ok parallelism before the first sample) to take
+	// about ChunkTarget of wall time, and shrinks near the tail so no
+	// single worker strags the job on one oversized final chunk.
+	// Scheduling becomes non-deterministic; assembled results do not —
+	// they stay keyed by seed offset. Zero keeps fixed-size chunks.
+	ChunkTarget time.Duration
 	// ChunkTimeout bounds one chunk's total execution including
 	// streaming (0 = 5m). A chunk that exceeds it is re-dispatched.
 	ChunkTimeout time.Duration
@@ -92,6 +103,11 @@ type Coordinator struct {
 	// runs share one CPU budget instead of multiplying it.
 	localOnce sync.Once
 	localSem  chan struct{}
+
+	// chunkSeq issues process-unique chunk IDs, so a stale frame from an
+	// abandoned exchange can never alias a live chunk on a reused
+	// connection.
+	chunkSeq atomic.Uint64
 }
 
 func (c *Coordinator) chunkSize() int {
@@ -136,54 +152,131 @@ func (c *Coordinator) maxWorkerFailures() int {
 	return c.MaxWorkerFailures
 }
 
-// chunk is one contiguous slice of the seed range. A chunk is owned by
-// exactly one place at any time — the queue, one worker goroutine, or
-// the committed state — so re-dispatch never duplicates commits.
+// chunk is one contiguous slice of the seed range, carved from the work
+// queue at dispatch time. A chunk is owned by exactly one place at any
+// time — the queue, one worker goroutine, or the committed state; the
+// per-offset commit ledger makes even a misbehaving double-dispatch
+// harmless.
 type chunk struct {
-	index, start, count int
-	attempts            int
+	start, count int
+	attempts     int
 }
 
-// runState accumulates committed results. Chunks commit atomically and
-// exactly once; duplicate completions (a slow worker racing its own
-// re-dispatch) are discarded whole.
+// workQueue holds the seed ranges not yet dispatched. Unlike the old
+// fixed pre-carved chunk channel, ranges are carved on demand — each
+// worker connection takes a chunk sized for its own throughput — and
+// failed dispatches return their range whole for someone else to carve
+// differently.
+type workQueue struct {
+	mu    sync.Mutex
+	segs  []chunk
+	avail chan struct{} // capacity 1: "work may be available" wakeup
+}
+
+func newWorkQueue(n int) *workQueue {
+	return &workQueue{segs: []chunk{{start: 0, count: n}}, avail: make(chan struct{}, 1)}
+}
+
+func (q *workQueue) signal() {
+	select {
+	case q.avail <- struct{}{}:
+	default:
+	}
+}
+
+// pending is the number of runs not yet dispatched (requeued ranges
+// included) — the denominator of the tail-shrinking heuristic.
+func (q *workQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, s := range q.segs {
+		n += s.count
+	}
+	return n
+}
+
+// take carves up to max runs off the front segment; nil means the queue
+// is empty right now (the job may still have chunks in flight
+// elsewhere — wait on avail or st.done). A take never spans segments,
+// so a requeued range keeps its attempt count.
+func (q *workQueue) take(max int) *chunk {
+	if max < 1 {
+		max = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.segs) == 0 {
+		return nil
+	}
+	s := &q.segs[0]
+	ch := &chunk{start: s.start, count: min(s.count, max), attempts: s.attempts}
+	s.start += ch.count
+	s.count -= ch.count
+	if s.count == 0 {
+		q.segs = q.segs[1:]
+	}
+	if len(q.segs) > 0 {
+		q.signal() // more work: don't leave a second waiter sleeping
+	}
+	return ch
+}
+
+// put returns a failed dispatch's range to the queue and wakes a waiter.
+func (q *workQueue) put(ch *chunk) {
+	q.mu.Lock()
+	q.segs = append(q.segs, chunk{start: ch.start, count: ch.count, attempts: ch.attempts})
+	q.mu.Unlock()
+	q.signal()
+}
+
+// runState accumulates committed results, keyed by seed offset. Every
+// offset commits exactly once; late duplicates (a slow worker racing
+// its own re-dispatch) are discarded per offset, which is safe because
+// a run's result is a pure function of its seed.
 type runState struct {
 	mu        sync.Mutex
 	results   []RunResult
-	chunkDone []bool
+	got       []bool
 	remaining int
 	err       error
 	done      chan struct{}
 	closed    bool
 }
 
-func newRunState(n, numChunks int) *runState {
+func newRunState(n int) *runState {
 	return &runState{
 		results:   make([]RunResult, n),
-		chunkDone: make([]bool, numChunks),
-		remaining: numChunks,
+		got:       make([]bool, n),
+		remaining: n,
 		done:      make(chan struct{}),
 	}
 }
 
-// commit installs a chunk's results; false means another dispatch beat
-// this one and the results were discarded.
-func (st *runState) commit(ch *chunk, runs []RunResult) bool {
+// commit installs a dispatch's results and returns the subset that was
+// new — the runs hooks may observe. A nil return means the job already
+// closed (finished or failed) and nothing was committed.
+func (st *runState) commit(runs []RunResult) []RunResult {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.closed || st.chunkDone[ch.index] {
-		return false
+	if st.closed {
+		return nil
 	}
-	st.chunkDone[ch.index] = true
+	fresh := runs[:0:0]
 	for _, r := range runs {
+		if st.got[r.Offset] {
+			continue
+		}
+		st.got[r.Offset] = true
 		st.results[r.Offset] = r
+		st.remaining--
+		fresh = append(fresh, r)
 	}
-	st.remaining--
 	if st.remaining == 0 {
 		st.closed = true
 		close(st.done)
 	}
-	return true
+	return fresh
 }
 
 // fail aborts the job with a terminal error (deterministic execution
@@ -230,23 +323,13 @@ func (c *Coordinator) RunCtx(ctx context.Context, job Job, baseSeed uint64, n in
 		return nil, fmt.Errorf("dist: job config: %w", err)
 	}
 
-	size := c.chunkSize()
-	numChunks := (n + size - 1) / size
-	queue := make(chan *chunk, numChunks)
-	for i := 0; i < numChunks; i++ {
-		start := i * size
-		count := size
-		if start+count > n {
-			count = n - start
-		}
-		queue <- &chunk{index: i, start: start, count: count}
-	}
-	st := newRunState(n, numChunks)
-	c.beginJob(job, n, numChunks)
+	queue := newWorkQueue(n)
+	st := newRunState(n)
+	c.beginJob(job, n)
 
 	span := c.Obs.T().StartSpan("dist.job", obs.Str("benchmark", job.Benchmark),
 		obs.U64("base_seed", baseSeed), obs.Int("runs", n),
-		obs.Int("chunks", numChunks), obs.Int("workers", len(c.Workers)))
+		obs.Int("workers", len(c.Workers)))
 
 	// Cancellation fails the run state, which every dispatch and local
 	// loop already observes at chunk boundaries.
@@ -302,11 +385,14 @@ func (c *Coordinator) RunCtx(ctx context.Context, job Job, baseSeed uint64, n in
 	return st.results, nil
 }
 
-// workerLoop owns one worker address for the duration of a job: it pulls
-// chunks, dispatches them, and applies the failure policy (reconnect
-// with jittered backoff, re-dispatch on error, abandon the worker after
-// too many consecutive failures).
-func (c *Coordinator) workerLoop(addr string, job Job, baseSeed uint64, st *runState, queue chan *chunk, h population.RunHooks) {
+// workerLoop owns one worker address for the duration of a job: it
+// connects, carves chunks off the shared work queue sized for this
+// worker's throughput, dispatches them, and applies the failure policy
+// (reconnect with jittered backoff, re-dispatch on error, abandon the
+// worker after too many consecutive failures). Connecting happens
+// before carving — the negotiated version and advertised parallelism
+// decide how the first chunk is sized.
+func (c *Coordinator) workerLoop(addr string, job Job, baseSeed uint64, st *runState, queue *workQueue, h population.RunHooks) {
 	hsh := fnv.New64a()
 	hsh.Write([]byte(addr))
 	bo := newBackoff(c.BackoffBase, c.BackoffMax, hsh.Sum64())
@@ -321,7 +407,7 @@ func (c *Coordinator) workerLoop(addr string, job Job, baseSeed uint64, st *runS
 		ch.attempts++
 		c.Obs.M().Counter(obs.MetricDistRedispatches).Inc()
 		c.jobStat(func(j *jobState) { j.redispatches++ })
-		queue <- ch // buffered to the chunk count, never blocks
+		queue.put(ch)
 	}
 	abandon := func(ch *chunk, why error) {
 		if ch != nil {
@@ -333,31 +419,37 @@ func (c *Coordinator) workerLoop(addr string, job Job, baseSeed uint64, st *runS
 		c.Obs.Logf("dist: abandoning worker %s: %v", addr, why)
 	}
 	for {
-		var ch *chunk
-		select {
-		case <-st.done:
-			return
-		case ch = <-queue:
-		}
 		// Ensure a healthy connection, backing off between attempts.
 		for cn == nil {
 			var err error
 			cn, err = c.dial(addr)
 			if err == nil {
 				bo.reset()
+				c.noteWorkerHello(addr, cn.parallelism)
 				break
 			}
 			c.Obs.M().Counter(obs.MetricDistRetries).Inc()
 			failures++
 			if failures >= c.maxWorkerFailures() {
-				abandon(ch, err)
+				abandon(nil, err)
 				return
 			}
 			select {
 			case <-st.done:
-				requeue(ch)
 				return
 			case <-time.After(bo.next()):
+			}
+		}
+		ch := queue.take(c.nextChunkSize(addr, cn.version, queue.pending()))
+		if ch == nil {
+			// Queue drained, but the job may still be waiting on chunks
+			// in flight elsewhere — one of which may yet fail and requeue
+			// its range. Sleep until either happens.
+			select {
+			case <-st.done:
+				return
+			case <-queue.avail:
+				continue
 			}
 		}
 		err := c.dispatch(cn, job, baseSeed, ch, st, h)
@@ -379,7 +471,7 @@ func (c *Coordinator) workerLoop(addr string, job Job, baseSeed uint64, st *runS
 		// Connection-level failure (death, timeout, malformed stream):
 		// the chunk goes back to the pool and the connection is torn
 		// down; another worker — or this one after reconnecting — picks
-		// it up.
+		// it up, possibly carved differently.
 		cn.close()
 		cn = nil
 		failures++
@@ -394,6 +486,40 @@ func (c *Coordinator) workerLoop(addr string, job Job, baseSeed uint64, st *runS
 		case <-time.After(bo.next()):
 		}
 	}
+}
+
+// maxAdaptiveChunk caps one adaptive dispatch so a wildly overestimated
+// rate cannot swallow a whole campaign in a single chunk (which would
+// defeat both re-balancing and failure recovery).
+const maxAdaptiveChunk = 4096
+
+// nextChunkSize decides how many runs to carve for a worker's next
+// dispatch. Fixed ChunkSize unless adaptive sizing is on (ChunkTarget
+// set) and the peer speaks v3 — batching is what makes large chunks
+// cheap, and a per-run-framing peer with a huge chunk would regress the
+// very hot path this exists to fix. Adaptive size = observed runs/sec ×
+// ChunkTarget (seeded from hello_ok parallelism before telemetry
+// exists), capped at half a fair share of the remaining work so chunks
+// shrink toward the tail and no worker strags the job on one oversized
+// final dispatch.
+func (c *Coordinator) nextChunkSize(addr string, version, pending int) int {
+	if c.ChunkTarget <= 0 || version < batchVersion {
+		return c.chunkSize()
+	}
+	size := int(c.rateEstimate(addr)*c.ChunkTarget.Seconds() + 0.5)
+	if size > maxAdaptiveChunk {
+		size = maxAdaptiveChunk
+	}
+	if pending > 0 {
+		live := 2 * c.liveWorkers()
+		if share := (pending + live - 1) / live; size > share {
+			size = share
+		}
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
 }
 
 // chunkExecError marks a worker-reported execution failure, as opposed
@@ -436,9 +562,17 @@ func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st
 	span := c.Obs.T().StartSpan("dist.chunk", obs.Str("worker", cn.addr),
 		obs.Int("start", ch.start), obs.Int("count", ch.count), obs.Int("attempt", ch.attempts))
 	c.Obs.M().Counter(obs.MetricDistChunksDispatched).Inc()
-	c.jobStat(func(j *jobState) { j.chunksInFlight++ })
+	c.jobStat(func(j *jobState) {
+		j.chunksInFlight++
+		if ch.attempts == 0 {
+			j.chunks++
+		}
+	})
 	defer c.jobStat(func(j *jobState) { j.chunksInFlight-- })
-	id := uint64(ch.index) + 1
+	// Chunk IDs are process-unique, not per-job indexes: work is carved
+	// on demand, so two dispatches of overlapping ranges must never share
+	// an ID a stale frame could alias.
+	id := c.chunkSeq.Add(1)
 	cfg := job.Config
 	err := cn.send(frame{
 		Type: frameRunChunk, ID: id,
@@ -452,6 +586,15 @@ func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st
 	deadline := time.Now().Add(c.chunkTimeout())
 	runs := make([]RunResult, 0, ch.count)
 	seen := make(map[int]bool, ch.count)
+	accept := func(off int, metrics map[string]float64, cycles uint64, elapsedUS int64) error {
+		if off < ch.start || off >= ch.start+ch.count || seen[off] {
+			return fmt.Errorf("dist: worker %s sent offset %d outside chunk [%d,%d)", cn.addr, off, ch.start, ch.start+ch.count)
+		}
+		seen[off] = true
+		runs = append(runs, RunResult{Offset: off, Metrics: metrics,
+			Cycles: cycles, Elapsed: time.Duration(elapsedUS) * time.Microsecond})
+		return nil
+	}
 	for {
 		// A slow dispatch racing its own re-dispatch stops as soon as the
 		// job finishes elsewhere, instead of streaming to completion.
@@ -482,14 +625,32 @@ func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st
 		case frameHeartbeat:
 			continue
 		case frameResult:
-			off := f.Offset
-			if off < ch.start || off >= ch.start+ch.count || seen[off] {
+			if err := accept(f.Offset, f.Metrics, f.Cycles, f.ElapsedUS); err != nil {
 				span.End(obs.Str("error", "bad offset"))
-				return fmt.Errorf("dist: worker %s sent offset %d outside chunk [%d,%d)", cn.addr, off, ch.start, ch.start+ch.count)
+				return err
 			}
-			seen[off] = true
-			runs = append(runs, RunResult{Offset: off, Metrics: f.Metrics,
-				Cycles: f.Cycles, Elapsed: time.Duration(f.ElapsedUS) * time.Microsecond})
+		case frameResultBatch:
+			b := f.Batch
+			if b == nil {
+				span.End(obs.Str("error", "empty batch"))
+				return fmt.Errorf("dist: worker %s sent result_batch with no payload", cn.addr)
+			}
+			if err := b.validate(); err != nil {
+				span.End(obs.Str("error", err.Error()))
+				return err
+			}
+			for i, off := range b.Offsets {
+				// Rebuild the per-run metric map from the columns: names
+				// decode once per batch instead of once per run.
+				m := make(map[string]float64, len(b.Metrics))
+				for k, vs := range b.Metrics {
+					m[k] = vs[i]
+				}
+				if err := accept(off, m, b.Cycles[i], b.ElapsedUS[i]); err != nil {
+					span.End(obs.Str("error", "bad offset"))
+					return err
+				}
+			}
 		case frameChunkDone:
 			if len(runs) != ch.count {
 				span.End(obs.Str("error", "short chunk"))
@@ -498,8 +659,8 @@ func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st
 			c.Obs.M().Counter(obs.MetricDistChunksCompleted).Inc()
 			c.noteWorkerChunk(cn.addr)
 			c.jobStat(func(j *jobState) { j.chunksCompleted++ })
-			if st.commit(ch, runs) {
-				fireHooks(job, baseSeed, runs, h)
+			if fresh := st.commit(runs); len(fresh) > 0 {
+				fireHooks(job, baseSeed, fresh, h)
 			}
 			span.End(obs.Int("results", len(runs)))
 			return nil
@@ -530,14 +691,12 @@ func (c *Coordinator) localSemaphore() chan struct{} {
 // runLocal executes every still-queued chunk in-process — the
 // degradation path, and the whole path when no workers are configured.
 // It uses the same chunk/commit machinery so determinism is shared.
-func (c *Coordinator) runLocal(job Job, baseSeed uint64, st *runState, queue chan *chunk, h population.RunHooks) {
+func (c *Coordinator) runLocal(job Job, baseSeed uint64, st *runState, queue *workQueue, h population.RunHooks) {
 	sem := c.localSemaphore()
 	var wg sync.WaitGroup
 	for {
-		var ch *chunk
-		select {
-		case ch = <-queue:
-		default:
+		ch := queue.take(c.chunkSize())
+		if ch == nil {
 			wg.Wait()
 			return
 		}
@@ -546,7 +705,12 @@ func (c *Coordinator) runLocal(job Job, baseSeed uint64, st *runState, queue cha
 			return
 		}
 		c.Obs.M().Counter(obs.MetricDistLocalChunks).Inc()
-		c.jobStat(func(j *jobState) { j.localChunks++ })
+		c.jobStat(func(j *jobState) {
+			j.localChunks++
+			if ch.attempts == 0 {
+				j.chunks++
+			}
+		})
 		runs := make([]RunResult, ch.count)
 		var cwg sync.WaitGroup
 		failed := false
@@ -585,7 +749,7 @@ func (c *Coordinator) runLocal(job Job, baseSeed uint64, st *runState, queue cha
 			mu.Lock()
 			bad := failed
 			mu.Unlock()
-			if !bad && st.commit(ch, runs) {
+			if !bad && st.commit(runs) != nil {
 				c.jobStat(func(j *jobState) { j.chunksCompleted++ })
 			}
 		}(ch)

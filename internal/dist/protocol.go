@@ -19,12 +19,20 @@ import (
 //
 //	v1: base protocol (chunks, results, heartbeats)
 //	v2: worker telemetry piggybacked on heartbeat/chunk_done frames
+//	v3: batched columnar result frames (result_batch) and, coordinator
+//	    side, throughput-adaptive chunk sizing; v1/v2 peers keep getting
+//	    per-run result frames and fixed chunks
 const (
-	ProtocolVersion    = 2
+	ProtocolVersion    = 3
 	MinProtocolVersion = 1
 	// telemetryVersion is the negotiated version from which workers
 	// attach telemetry snapshots to their frames.
 	telemetryVersion = 2
+	// batchVersion is the negotiated version from which workers ship
+	// results as columnar result_batch frames instead of one result
+	// frame per run — and from which the coordinator may size chunks
+	// adaptively rather than carving fixed ones.
+	batchVersion = 3
 )
 
 // Frame types. The protocol is newline-delimited JSON: every message is
@@ -36,9 +44,10 @@ const (
 	framePing     = "ping"      // liveness probe on an idle connection
 
 	// worker → coordinator
-	frameHelloOK   = "hello_ok"  // handshake accepted
-	frameResult    = "result"    // one completed run (any order within a chunk)
-	frameHeartbeat = "heartbeat" // liveness while a chunk is executing
+	frameHelloOK     = "hello_ok"     // handshake accepted
+	frameResult      = "result"       // one completed run (any order within a chunk)
+	frameResultBatch = "result_batch" // many completed runs, columnar (v3+)
+	frameHeartbeat   = "heartbeat"    // liveness while a chunk is executing
 	frameChunkDone = "chunk_done"
 	frameError     = "error" // chunk failed worker-side
 	framePong      = "pong"
@@ -63,6 +72,9 @@ type frame struct {
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 	Cycles    uint64             `json:"cycles,omitempty"`
 	ElapsedUS int64              `json:"elapsed_us,omitempty"`
+	// Batch is the columnar multi-run payload (result_batch frames,
+	// protocol v3+).
+	Batch *ResultBatch `json:"batch,omitempty"`
 	// Worker capability (hello_ok) and failure detail (error frames).
 	Parallelism int    `json:"parallelism,omitempty"`
 	Error       string `json:"error,omitempty"`
@@ -96,6 +108,92 @@ func (t *WorkerTelemetry) empty() bool {
 	return t == nil || (t.RunsServed == 0 && t.InFlight == 0 && t.RunSeconds == 0)
 }
 
+// ResultBatch is the v3 columnar result payload: many completed runs in
+// one frame, with the per-metric value arrays keyed once by metric name
+// instead of one map[string]float64 per run. Index i across all arrays
+// describes one run; the arrays are always the same length. Batching
+// amortizes JSON encode/decode, syscalls, and per-run map allocations
+// across the whole batch — the dist hot path's dominant cost at small
+// simulation scales.
+type ResultBatch struct {
+	// Offsets are the runs' seed offsets within the campaign (the same
+	// identity per-run result frames carry), in completion order.
+	Offsets []int `json:"offsets"`
+	// Cycles and ElapsedUS align with Offsets.
+	Cycles    []uint64 `json:"cycles"`
+	ElapsedUS []int64  `json:"elapsed_us"`
+	// Metrics maps each metric name to its value column. Every run in a
+	// batch has the same metric set — the worker flushes early on the
+	// rare key-set change — so name strings ship (and decode) once per
+	// batch rather than once per run.
+	Metrics map[string][]float64 `json:"metrics,omitempty"`
+}
+
+func (b *ResultBatch) len() int { return len(b.Offsets) }
+
+// add appends one run to the batch. It reports false — without
+// modifying the batch — when the run's metric key set differs from the
+// batch's; the caller flushes and retries on a fresh batch.
+func (b *ResultBatch) add(offset int, metrics map[string]float64, cycles uint64, elapsedUS int64) bool {
+	if len(b.Offsets) == 0 {
+		if b.Metrics == nil {
+			b.Metrics = make(map[string][]float64, len(metrics))
+		}
+		// A reset batch keeps its columns for capacity; drop any key the
+		// new run doesn't carry so the batch can't come out ragged.
+		for k := range b.Metrics {
+			if _, ok := metrics[k]; !ok {
+				delete(b.Metrics, k)
+			}
+		}
+		for k, v := range metrics {
+			b.Metrics[k] = append(b.Metrics[k], v)
+		}
+	} else {
+		if len(metrics) != len(b.Metrics) {
+			return false
+		}
+		for k := range metrics {
+			if _, ok := b.Metrics[k]; !ok {
+				return false
+			}
+		}
+		for k, v := range metrics {
+			b.Metrics[k] = append(b.Metrics[k], v)
+		}
+	}
+	b.Offsets = append(b.Offsets, offset)
+	b.Cycles = append(b.Cycles, cycles)
+	b.ElapsedUS = append(b.ElapsedUS, elapsedUS)
+	return true
+}
+
+// reset empties the batch for reuse, keeping the column capacity.
+func (b *ResultBatch) reset() {
+	b.Offsets = b.Offsets[:0]
+	b.Cycles = b.Cycles[:0]
+	b.ElapsedUS = b.ElapsedUS[:0]
+	for k := range b.Metrics {
+		b.Metrics[k] = b.Metrics[k][:0]
+	}
+}
+
+// validate checks the columnar invariants a peer-supplied batch must
+// hold before it is safe to index.
+func (b *ResultBatch) validate() error {
+	n := len(b.Offsets)
+	if len(b.Cycles) != n || len(b.ElapsedUS) != n {
+		return fmt.Errorf("dist: ragged result_batch: %d offsets, %d cycles, %d elapsed",
+			n, len(b.Cycles), len(b.ElapsedUS))
+	}
+	for k, vs := range b.Metrics {
+		if len(vs) != n {
+			return fmt.Errorf("dist: ragged result_batch: metric %q has %d values for %d offsets", k, len(vs), n)
+		}
+	}
+	return nil
+}
+
 // conn wraps a TCP connection with buffered JSONL framing and a write
 // lock, so result streaming and heartbeats can interleave safely.
 type conn struct {
@@ -114,6 +212,10 @@ type conn struct {
 	// set by the handshake on the coordinator side and by the hello
 	// exchange on the worker side. Zero means not yet negotiated.
 	version int
+	// parallelism is the worker's advertised simulation slot count from
+	// hello_ok (coordinator side only) — the adaptive chunk sizer's seed
+	// before any throughput sample exists for the worker.
+	parallelism int
 }
 
 func newConn(c net.Conn, writeTimeout time.Duration) *conn {
@@ -180,5 +282,6 @@ func (c *conn) handshake(timeout time.Duration) error {
 			c.addr, f.Type, f.Version, frameHelloOK, MinProtocolVersion, ProtocolVersion)
 	}
 	c.version = f.Version // worker already replied with min(its, ours)
+	c.parallelism = f.Parallelism
 	return nil
 }

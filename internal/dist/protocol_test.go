@@ -2,6 +2,7 @@ package dist
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -81,8 +82,9 @@ func TestHandshakeVersionMismatch(t *testing.T) {
 		b.send(frame{Type: frameHelloOK, Version: ProtocolVersion + 1})
 	}()
 	err := a.handshake(2 * time.Second)
-	if err == nil || !strings.Contains(err.Error(), "v2") {
-		t.Errorf("version mismatch should be rejected, got %v", err)
+	want := fmt.Sprintf("v%d", ProtocolVersion)
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("version mismatch should be rejected naming %s, got %v", want, err)
 	}
 }
 
@@ -143,5 +145,65 @@ func TestBackoffBoundedAndJittered(t *testing.T) {
 	b.reset()
 	if d := b.next(); d > 15*time.Millisecond {
 		t.Errorf("reset did not shrink the delay: %v", d)
+	}
+}
+
+// TestResultBatchColumns pins the columnar batch invariants: add keeps
+// the arrays aligned, refuses a metric key-set change without mutating
+// the batch, reset keeps capacity but never leaks stale keys into the
+// next batch, and validate rejects ragged peer input.
+func TestResultBatchColumns(t *testing.T) {
+	b := &ResultBatch{}
+	if !b.add(3, map[string]float64{"ipc": 1.5, "mpki": 0.2}, 100, 7) {
+		t.Fatal("first add refused")
+	}
+	if !b.add(4, map[string]float64{"ipc": 1.6, "mpki": 0.3}, 200, 9) {
+		t.Fatal("same-key add refused")
+	}
+	if b.len() != 2 || b.Offsets[1] != 4 || b.Cycles[0] != 100 || b.Metrics["ipc"][1] != 1.6 {
+		t.Fatalf("batch columns wrong: %+v", b)
+	}
+	if err := b.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Key-set change: refused, batch untouched.
+	if b.add(5, map[string]float64{"ipc": 1.7}, 300, 11) {
+		t.Fatal("key-set change accepted into a non-empty batch")
+	}
+	if b.len() != 2 {
+		t.Fatalf("refused add mutated the batch: len %d", b.len())
+	}
+	// Round-trip through the wire encoding.
+	a, p := pipePair()
+	defer a.close()
+	defer p.close()
+	go a.send(frame{Type: frameResultBatch, ID: 9, Batch: b})
+	f, err := p.recv(time.Now().Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Batch == nil || f.Batch.len() != 2 || f.Batch.Metrics["mpki"][1] != 0.3 {
+		t.Fatalf("batch did not round-trip: %+v", f.Batch)
+	}
+	// Reset keeps the key columns for reuse but a different key set
+	// afterwards must not leave stale zero-length columns behind.
+	b.reset()
+	if b.len() != 0 {
+		t.Fatalf("reset left %d rows", b.len())
+	}
+	if !b.add(6, map[string]float64{"ipc": 1.8}, 400, 13) {
+		t.Fatal("add to reset batch refused")
+	}
+	if err := b.validate(); err != nil {
+		t.Fatalf("reset+shrunken key set produced a ragged batch: %v", err)
+	}
+	if _, ok := b.Metrics["mpki"]; ok {
+		t.Error("stale metric column survived a key-set change")
+	}
+	// Ragged peer input must be rejected before indexing.
+	bad := &ResultBatch{Offsets: []int{1, 2}, Cycles: []uint64{1, 2},
+		ElapsedUS: []int64{1, 2}, Metrics: map[string][]float64{"ipc": {1.0}}}
+	if err := bad.validate(); err == nil {
+		t.Error("ragged batch validated")
 	}
 }

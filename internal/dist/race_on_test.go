@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions calibrated for production-speed execution skip under its
+// ~10x slowdown.
+const raceEnabled = true

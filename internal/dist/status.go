@@ -55,6 +55,15 @@ type workerState struct {
 	// to be meaningful.
 	lastRuns int64
 	lastTime time.Time
+	// windowed is true once ThroughputRPS comes from a real
+	// differentiated window (>= throughputWindow apart) rather than the
+	// first-snapshot busy-rate seed; the adaptive chunk sizer trusts
+	// windowed rates outright and blends earlier estimates with the
+	// worker's advertised parallelism.
+	windowed bool
+	// helloParallelism is the slot count the worker advertised at
+	// hello_ok — the sizer's only signal before any telemetry arrives.
+	helloParallelism int
 }
 
 // jobState is the coordinator's cumulative chunk accounting. Jobs from
@@ -81,8 +90,10 @@ const throughputWindow = 100 * time.Millisecond
 
 // beginJob folds a new Run into the cumulative accounting. Worker rows
 // persist across jobs of one coordinator (the fleet is the same), their
-// chunk counts keep accumulating.
-func (c *Coordinator) beginJob(job Job, runs, chunks int) {
+// chunk counts keep accumulating. Chunk counts are no longer known up
+// front — adaptive sizing carves them on demand — so they accumulate as
+// first-attempt dispatches happen, via jobStat.
+func (c *Coordinator) beginJob(job Job, runs int) {
 	c.stMu.Lock()
 	defer c.stMu.Unlock()
 	if c.jobSt == nil {
@@ -90,7 +101,6 @@ func (c *Coordinator) beginJob(job Job, runs, chunks int) {
 	}
 	c.jobSt.benchmark = job.Benchmark
 	c.jobSt.runs += runs
-	c.jobSt.chunks += chunks
 	c.jobSt.jobsStarted++
 	c.jobSt.jobsActive++
 	if c.workerSt == nil {
@@ -163,6 +173,7 @@ func (c *Coordinator) noteWorkerTelemetry(addr string, t *WorkerTelemetry) {
 		dt := now.Sub(ws.lastTime).Seconds()
 		ws.ThroughputRPS = float64(t.RunsServed-ws.lastRuns) / dt
 		ws.lastRuns, ws.lastTime = t.RunsServed, now
+		ws.windowed = true
 	}
 	row := *ws
 	c.stMu.Unlock()
@@ -173,6 +184,70 @@ func (c *Coordinator) noteWorkerTelemetry(addr string, t *WorkerTelemetry) {
 	m.GaugeL(obs.MetricDistWorkerInflight, l).Set(float64(row.InFlight))
 	m.GaugeL(obs.MetricDistWorkerThroughput, l).Set(row.ThroughputRPS)
 	m.GaugeL(obs.MetricDistWorkerMeanRunSeconds, l).Set(row.MeanRunSeconds)
+}
+
+// noteWorkerHello records the parallelism a worker advertised at
+// hello_ok, and clears any stale Dead mark — a worker that answers a
+// fresh handshake is alive again for scheduling purposes.
+func (c *Coordinator) noteWorkerHello(addr string, parallelism int) {
+	c.stMu.Lock()
+	ws := c.workerLocked(addr)
+	if parallelism > 0 {
+		ws.helloParallelism = parallelism
+	}
+	ws.Dead = false
+	c.stMu.Unlock()
+}
+
+// rateEstimate returns the best available runs/sec estimate for a
+// worker, for adaptive chunk sizing. Preference order: a real
+// differentiated throughput window; the busy-rate seed scaled by the
+// advertised parallelism (mean run cost amortized over slots); bare
+// hello_ok parallelism as "about 1 run/sec/slot" when nothing has ever
+// run. Zero means no basis at all.
+func (c *Coordinator) rateEstimate(addr string) float64 {
+	c.stMu.Lock()
+	defer c.stMu.Unlock()
+	ws := c.workerSt[addr]
+	if ws == nil {
+		return 0
+	}
+	if ws.windowed && ws.ThroughputRPS > 0 {
+		return ws.ThroughputRPS
+	}
+	par := ws.helloParallelism
+	if par < 1 {
+		par = 1
+	}
+	if ws.MeanRunSeconds > 0 {
+		return float64(par) / ws.MeanRunSeconds
+	}
+	if ws.ThroughputRPS > 0 {
+		// Busy-rate seed from the first snapshot: one slot's service
+		// rate; the worker runs par slots.
+		return ws.ThroughputRPS * float64(par)
+	}
+	if ws.helloParallelism > 0 {
+		return float64(ws.helloParallelism)
+	}
+	return 0
+}
+
+// liveWorkers counts workers not currently marked dead (minimum 1), the
+// divisor of the tail-shrinking heuristic.
+func (c *Coordinator) liveWorkers() int {
+	c.stMu.Lock()
+	defer c.stMu.Unlock()
+	n := 0
+	for _, addr := range c.Workers {
+		if ws := c.workerSt[addr]; ws == nil || !ws.Dead {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // noteWorkerDead marks a worker abandoned for this job.

@@ -43,8 +43,21 @@ type Worker struct {
 	// (internal/faultx) and in-memory test transports. Nil uses a TCP
 	// listener with keepalive enabled.
 	ListenFunc func(network, address string) (net.Listener, error)
+	// BatchRuns caps how many completed runs accumulate in one
+	// result_batch frame before a flush (0 = 64). Only v3+ connections
+	// batch; older peers get one result frame per run.
+	BatchRuns int
+	// BatchFlush bounds how long a completed run may sit in an unflushed
+	// batch (0 = 25ms), so a slow trickle of results still reaches the
+	// coordinator — and its progress hooks — promptly.
+	BatchFlush time.Duration
 	// Obs receives spans and counters for served chunks; nil disables.
 	Obs *obs.Observer
+
+	// maxVersion, when positive, caps the protocol version this worker
+	// negotiates — a test seam for exercising mixed-version fleets
+	// without building old binaries.
+	maxVersion int
 
 	ln       net.Listener
 	sem      chan struct{}
@@ -156,6 +169,20 @@ func (w *Worker) idleTimeout() time.Duration {
 		return 5 * time.Minute
 	}
 	return w.IdleTimeout
+}
+
+func (w *Worker) batchRuns() int {
+	if w.BatchRuns <= 0 {
+		return 64
+	}
+	return w.BatchRuns
+}
+
+func (w *Worker) batchFlush() time.Duration {
+	if w.BatchFlush <= 0 {
+		return 25 * time.Millisecond
+	}
+	return w.BatchFlush
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -274,8 +301,13 @@ func (w *Worker) serveConn(nc net.Conn) {
 				return
 			}
 			// Speak the lower of the two versions: a v1 coordinator gets
-			// plain v1 frames, a v2 one gets telemetry piggybacks.
-			c.version = min(f.Version, ProtocolVersion)
+			// plain v1 frames, a v2 one gets telemetry piggybacks but
+			// per-run results, a v3 one gets batched result frames.
+			effective := ProtocolVersion
+			if w.maxVersion > 0 && w.maxVersion < effective {
+				effective = w.maxVersion
+			}
+			c.version = min(f.Version, effective)
 			p := cap(w.sem)
 			if err := c.send(frame{Type: frameHelloOK, Version: c.version, Parallelism: p}); err != nil {
 				return
@@ -382,33 +414,86 @@ func (w *Worker) runChunk(c *conn, req frame) error {
 	// chunk while later seeds are still unlaunched. A failed seed aborts
 	// the chunk (the coordinator decides whether to surface it); runs
 	// already executing still drain so the semaphore is returned.
+	//
+	// On v3+ connections completed runs accumulate into a columnar
+	// result_batch, flushed every BatchRuns runs or BatchFlush of wall
+	// time — one frame and one syscall amortized over the whole batch
+	// instead of per run. Older peers keep one result frame per run.
 	type outcome struct {
 		runErr, sendErr error
 		sent            int
 	}
 	outcomeCh := make(chan outcome, 1)
+	batching := c.version >= batchVersion
 	go func() {
 		var o outcome
-		for r := range outs {
+		var rb *ResultBatch
+		var flushC <-chan time.Time // nil (never fires) unless batching
+		if batching {
+			rb = &ResultBatch{}
+			t := time.NewTicker(w.batchFlush())
+			defer t.Stop()
+			flushC = t.C
+		}
+		flush := func() {
+			if rb == nil || rb.len() == 0 || o.sendErr != nil || o.runErr != nil {
+				return
+			}
+			if err := c.send(frame{Type: frameResultBatch, ID: req.ID, Batch: rb}); err != nil {
+				o.sendErr = err
+				doom()
+				return
+			}
+			o.sent += rb.len()
+			rb.reset() // send encodes synchronously, so the columns are free to reuse
+		}
+		handle := func(r runOut) {
 			if r.err != nil {
 				if o.runErr == nil {
 					o.runErr = fmt.Errorf("seed %d: %w", req.BaseSeed+uint64(r.offset), r.err)
 					doom()
 				}
-				continue
+				return
 			}
 			if o.sendErr != nil || o.runErr != nil {
-				continue
+				return
 			}
-			if err := c.send(frame{Type: frameResult, ID: req.ID, Offset: r.offset,
-				Metrics: r.metrics, Cycles: r.cycles, ElapsedUS: r.elapsed.Microseconds()}); err != nil {
-				o.sendErr = err
-				doom()
-				continue
+			if !batching {
+				if err := c.send(frame{Type: frameResult, ID: req.ID, Offset: r.offset,
+					Metrics: r.metrics, Cycles: r.cycles, ElapsedUS: r.elapsed.Microseconds()}); err != nil {
+					o.sendErr = err
+					doom()
+				} else {
+					o.sent++
+				}
+				return
 			}
-			o.sent++
+			if !rb.add(r.offset, r.metrics, r.cycles, r.elapsed.Microseconds()) {
+				// Metric key set changed mid-chunk (rare): flush the
+				// homogeneous batch and start over on a fresh one.
+				flush()
+				if o.sendErr != nil || o.runErr != nil {
+					return
+				}
+				rb.add(r.offset, r.metrics, r.cycles, r.elapsed.Microseconds())
+			}
+			if rb.len() >= w.batchRuns() {
+				flush()
+			}
 		}
-		outcomeCh <- o
+		for {
+			select {
+			case r, ok := <-outs:
+				if !ok {
+					flush()
+					outcomeCh <- o
+					return
+				}
+				handle(r)
+			case <-flushC:
+				flush()
+			}
+		}
 	}()
 
 	var wg sync.WaitGroup

@@ -84,6 +84,24 @@ func TestWorkerStreamsChunk(t *testing.T) {
 				t.Fatalf("result for chunk %d, want %d", f.ID, id)
 			}
 			got[f.Offset] = f.Metrics
+		case frameResultBatch:
+			// The handshake negotiated v3, so results arrive batched.
+			if f.ID != id {
+				t.Fatalf("result_batch for chunk %d, want %d", f.ID, id)
+			}
+			if f.Batch == nil {
+				t.Fatal("result_batch frame without payload")
+			}
+			if err := f.Batch.validate(); err != nil {
+				t.Fatal(err)
+			}
+			for i, off := range f.Batch.Offsets {
+				m := make(map[string]float64, len(f.Batch.Metrics))
+				for k, vs := range f.Batch.Metrics {
+					m[k] = vs[i]
+				}
+				got[off] = m
+			}
 		case frameChunkDone:
 			if len(got) != count || f.Count != count {
 				t.Fatalf("chunk_done after %d results (reported %d), want %d", len(got), f.Count, count)

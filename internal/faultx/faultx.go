@@ -320,6 +320,12 @@ type faultConn struct {
 	rng      *randx.Rand
 	ops      int
 	lastLine []byte // last complete frame line written, for stale replay
+	// midLine is true while the stream sits inside a frame line: the last
+	// byte written was not '\n'. A frame larger than the sender's buffer
+	// arrives as several Write calls, and only the first begins at a line
+	// boundary — its newline-terminated tail must never be mistaken for a
+	// complete frame and replayed.
+	midLine  bool
 	rdl, wdl time.Time
 
 	closeOnce sync.Once
@@ -448,33 +454,46 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	}
 	n, err := c.nc.Write(p)
 	if err == nil {
-		c.noteLine(p)
+		c.noteWrite(p)
 	}
 	return n, err
 }
 
+// maxReplayLine caps the line a Duplicate fault may buffer and replay.
+// Batched result_batch frames (protocol v3) can run to hundreds of KB;
+// replaying one wholesale would double the hot path's traffic and pin
+// large buffers, and a long duplicate exercises nothing a short one
+// doesn't. Oversized lines pass through unfaulted.
+const maxReplayLine = 8 << 10
+
 // writeDuplicated delivers p and then replays a complete frame line —
-// the one just written, or an earlier one (stale replay). Writes that
-// are not a single complete line pass through untouched: duplicating a
-// fragment would corrupt the stream rather than exercise the peer's
-// duplicate/stale-frame handling.
+// the one just written, or an earlier one (stale replay). The replay
+// fires only when p is one whole boundary-aligned line no longer than
+// maxReplayLine: duplicating a fragment — including the newline-
+// terminated *tail* of a frame that outgrew the sender's buffer and
+// arrived split across writes — would corrupt the stream rather than
+// exercise the peer's duplicate/stale-frame handling.
 func (c *faultConn) writeDuplicated(p []byte, stale bool) (int, error) {
+	var replay []byte
+	c.mu.Lock()
+	if !c.midLine && completeLine(p) && len(p) <= maxReplayLine {
+		if stale && c.lastLine != nil {
+			// Copy: lastLine's buffer is reused by later notes, and the
+			// replay write happens outside the lock.
+			replay = append([]byte(nil), c.lastLine...)
+		} else {
+			replay = p
+		}
+	}
+	c.mu.Unlock()
 	n, err := c.nc.Write(p)
 	if err != nil {
 		return n, err
 	}
-	replay := p
-	if stale {
-		c.mu.Lock()
-		if c.lastLine != nil {
-			replay = c.lastLine
-		}
-		c.mu.Unlock()
-	}
-	if completeLine(replay) {
+	if replay != nil {
 		c.nc.Write(replay)
 	}
-	c.noteLine(p)
+	c.noteWrite(p)
 	return n, nil
 }
 
@@ -492,13 +511,18 @@ func completeLine(b []byte) bool {
 	return true
 }
 
-// noteLine remembers the last complete frame line for stale replay.
-func (c *faultConn) noteLine(p []byte) {
-	if !completeLine(p) {
+// noteWrite tracks line framing across writes: whether the stream now
+// sits mid-line, and — when p was one whole boundary-aligned line
+// within the replay cap — remembers it for stale replay.
+func (c *faultConn) noteWrite(p []byte) {
+	if len(p) == 0 {
 		return
 	}
 	c.mu.Lock()
-	c.lastLine = append(c.lastLine[:0], p...)
+	if !c.midLine && completeLine(p) && len(p) <= maxReplayLine {
+		c.lastLine = append(c.lastLine[:0], p...)
+	}
+	c.midLine = p[len(p)-1] != '\n'
 	c.mu.Unlock()
 }
 

@@ -205,6 +205,100 @@ func TestDuplicateReplaysCompleteLines(t *testing.T) {
 	}
 }
 
+// lineCollector reads peer until EOF, splitting on newlines.
+func lineCollector(peer net.Conn) chan string {
+	lines := make(chan string, 64)
+	go func() {
+		buf := make([]byte, 4096)
+		var acc []byte
+		for {
+			n, err := peer.Read(buf)
+			acc = append(acc, buf[:n]...)
+			for {
+				i := bytes.IndexByte(acc, '\n')
+				if i < 0 {
+					break
+				}
+				lines <- string(acc[:i])
+				acc = acc[i+1:]
+			}
+			if err != nil {
+				close(lines)
+				return
+			}
+		}
+	}()
+	return lines
+}
+
+// TestDuplicateNeverReplaysSplitFrameTail guards the v3 interaction: a
+// frame bigger than the sender's buffer arrives as several Write calls,
+// and the last one ends with '\n' without being a whole frame. Treating
+// that tail as a replayable "complete line" — which the pre-midLine
+// implementation did — corrupts the stream with a fragment duplicate.
+func TestDuplicateNeverReplaysSplitFrameTail(t *testing.T) {
+	in := New(23, Profile{Rate: 1, GraceOps: -1, Scenarios: []Scenario{Duplicate}}, nil)
+	fc, peer := chaosPipe(t, in)
+	lines := lineCollector(peer)
+
+	// One frame split across two writes, like bufio flushing a full
+	// buffer chunk and then the remainder.
+	if _, err := fc.Write([]byte("headheadhead")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write([]byte("tailtail\n")); err != nil {
+		t.Fatal(err)
+	}
+	// A normal whole-line write afterwards is fair game for duplication.
+	if _, err := fc.Write([]byte("small\n")); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	counts := map[string]int{}
+	for l := range lines {
+		counts[l]++
+	}
+	if counts["headheadheadtailtail"] != 1 {
+		t.Errorf("split frame delivered %d times, want exactly once: %v", counts["headheadheadtailtail"], counts)
+	}
+	for l := range counts {
+		if l != "headheadheadtailtail" && l != "small" {
+			t.Errorf("duplication corrupted the stream: unexpected line %q", l)
+		}
+	}
+}
+
+// TestDuplicateCapsReplayedLineSize: whole lines longer than
+// maxReplayLine pass through exactly once and are never recorded for
+// stale replay — a multi-hundred-run result_batch line must not be
+// doubled on the wire.
+func TestDuplicateCapsReplayedLineSize(t *testing.T) {
+	in := New(29, Profile{Rate: 1, GraceOps: -1, Scenarios: []Scenario{Duplicate}}, nil)
+	fc, peer := chaosPipe(t, in)
+	lines := lineCollector(peer)
+
+	big := strings.Repeat("b", maxReplayLine+100) + "\n"
+	if _, err := fc.Write([]byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := fc.Write([]byte("little\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.Close()
+	counts := map[string]int{}
+	for l := range lines {
+		counts[l]++
+	}
+	if n := counts[strings.TrimSuffix(big, "\n")]; n != 1 {
+		t.Errorf("oversized line delivered %d times, want exactly once", n)
+	}
+	if counts["little"] < 5 {
+		t.Errorf("no duplicate of the small lines at rate 1: %v", counts["little"])
+	}
+}
+
 func TestStallHonoursReadDeadline(t *testing.T) {
 	in := New(7, Profile{Rate: 1, GraceOps: -1, StallFor: 10 * time.Second, Scenarios: []Scenario{Stall}}, nil)
 	fc, _ := chaosPipe(t, in)
