@@ -23,6 +23,7 @@ import (
 	"repro/internal/manifest"
 	"repro/internal/obs"
 	"repro/internal/popcache"
+	"repro/internal/sampling"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run(args []string, w io.Writer) error {
 	workers := fs.String("workers", "", "comma-separated spaworker addresses (host:port,...) to distribute simulations across; results are byte-identical to a local run")
 	chunkTargetMS := fs.Int("chunk-target-ms", 250, "target wall time per dispatched chunk in milliseconds; chunks are sized from each worker's observed throughput (0 = fixed-size chunks)")
 	popcacheDir := fs.String("popcache", "", "content-addressed population cache directory shared across campaigns; hits are byte-identical to re-simulating")
+	samplingDesign := fs.String("sampling", "", "default variance-reduction design for adaptive analyses: plain, stratified or rss (per-analysis manifest settings win)")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "DEV ONLY: inject deterministic transport faults on -workers connections, seeded by this value (0 disables)")
 	chaosProfile := fs.String("chaos-profile", "all", "DEV ONLY: comma-separated fault scenarios for -chaos-seed (delay,stall,close,partial,dup,refuse or all)")
 	initTpl := fs.Bool("init", false, "print a template manifest and exit")
@@ -86,8 +88,12 @@ func run(args []string, w io.Writer) error {
 	case o.Progress == nil:
 		o.Progress = obs.NewProgress(w, "runs", 0)
 	}
+	if _, err := sampling.ParseDesign(*samplingDesign); err != nil {
+		closeObs()
+		return err
+	}
 	runner := &manifest.Runner{OutDir: *out, Parallelism: *parallel, Obs: o, Workers: dist.SplitAddrs(*workers),
-		ChunkTarget: time.Duration(*chunkTargetMS) * time.Millisecond}
+		ChunkTarget: time.Duration(*chunkTargetMS) * time.Millisecond, Sampling: *samplingDesign}
 	// /statusz reports the campaign and the coordinator's live chunk and
 	// per-worker state for the duration of the run.
 	o.SetStatus(func() any {

@@ -42,6 +42,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/popcache"
 	"repro/internal/population"
+	"repro/internal/sampling"
 	"repro/internal/smc"
 	"repro/internal/stats"
 )
@@ -266,10 +267,13 @@ func runCI(args []string) error {
 	dir := fs.String("direction", "atmost", "property direction: atmost (metric ≤ v) or atleast (metric ≥ v)")
 	sweep := fs.Bool("sweep", false, "use the paper's granularity search instead of the exact construction")
 	gran := fs.Float64("granularity", 0, "sweep step (0 = auto)")
+	samplingDesign := fs.String("sampling", "", "variance-reduction design with -sim: plain, stratified or rss (collects through a pilot-guided design collector)")
+	targetWidth := fs.Float64("target-width", 0, "adaptive mode with -sim: add executions round by round until the CI is at most this wide (-runs bounds the budget)")
+	pilotScale := fs.Float64("pilot-scale", 0, "pilot workload scale for -sampling (0 = half of -scale)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	xs, err := d.load()
+	design, err := sampling.ParseDesign(*samplingDesign)
 	if err != nil {
 		return err
 	}
@@ -278,6 +282,13 @@ func runCI(args []string) error {
 		return err
 	}
 	p := core.Params{F: *f, C: *c, Direction: direction, Granularity: *gran}
+	if design != sampling.Plain || *targetWidth > 0 {
+		return runCollectedCI(&d, p, design, *targetWidth, *pilotScale)
+	}
+	xs, err := d.load()
+	if err != nil {
+		return err
+	}
 	span := telemetry.T().StartSpan("spa.ci", obs.Int("samples", len(xs)),
 		obs.F64("f", *f), obs.F64("c", *c), obs.Bool("sweep", *sweep))
 	var iv interface{ Width() float64 }
@@ -303,6 +314,82 @@ func runCI(args []string) error {
 	span.End(obs.F64("width", iv.Width()))
 	fmt.Printf("width: %.6g\n", iv.Width())
 	fmt.Printf("samples: %d, F=%g, C=%g, property: metric %s v\n", len(xs), *f, *c, direction)
+	return nil
+}
+
+// runCollectedCI is the collector-backed arm of "spa ci": instead of
+// loading a fixed measurement set it simulates through the coordinator
+// (workers when configured, in-process otherwise), optionally under a
+// variance-reduction design and optionally adaptively to a target width.
+func runCollectedCI(d *dataFlags, p core.Params, design sampling.Design, targetWidth, pilotScale float64) error {
+	if d.sim == "" {
+		return errors.New("-sampling and -target-width need -sim (they collect, not load)")
+	}
+	e := manifest.Entry{Benchmark: d.sim, Variant: d.variant}
+	cfg, err := e.Config()
+	if err != nil {
+		return err
+	}
+	coord := &dist.Coordinator{Workers: dist.SplitAddrs(d.workers), Obs: telemetry,
+		ChunkTarget: time.Duration(d.chunkMS) * time.Millisecond}
+	var col core.Collector = coord.Collector(dist.Job{Benchmark: d.sim, Config: cfg, Scale: d.scale}, d.metric)
+	var cache *popcache.Cache
+	if d.popcache != "" {
+		cache = popcache.New(d.popcache, 0)
+	}
+	var dcol *sampling.Collector
+	if design != sampling.Plain {
+		ps := pilotScale
+		if ps == 0 {
+			ps = d.scale / 2
+		}
+		pilot := sampling.PilotFromCollector(
+			coord.Collector(dist.Job{Benchmark: d.sim, Config: cfg, Scale: ps}, d.metric), 0)
+		dcol, err = sampling.New(sampling.Options{
+			Design: design, Metric: d.metric, Cache: cache,
+			Recipe: popcache.Key{Benchmark: d.sim, Config: cfg, Scale: d.scale,
+				PilotScale: ps, ProxyMetric: d.metric},
+		}, col, pilot)
+		if err != nil {
+			return err
+		}
+		col = dcol
+	}
+	span := telemetry.T().StartSpan("spa.ci_collect", obs.Str("benchmark", d.sim),
+		obs.Str("sampling", design.String()), obs.F64("target_width", targetWidth))
+	var an *core.Analysis
+	budgetHit := false
+	if targetWidth > 0 {
+		an, err = core.AnalyzeToWidthWith(col, p, core.WidthOptions{
+			TargetWidth: targetWidth, MaxSamples: d.runs, BaseSeed: d.simSeed})
+		if errors.Is(err, core.ErrWidthBudget) {
+			budgetHit, err = true, nil
+		}
+	} else {
+		an, err = core.AnalyzeWith(col, p, core.Options{Samples: d.runs, BaseSeed: d.simSeed})
+	}
+	telemetry.CIBuilt("SPA", 0, err)
+	if err != nil {
+		span.End(obs.Str("error", err.Error()))
+		return err
+	}
+	telemetry.CIBuilt("SPA", an.Interval.Width(), nil)
+	span.End(obs.F64("width", an.Interval.Width()), obs.Int("samples", len(an.Samples)))
+	label := "SPA CI"
+	if design != sampling.Plain {
+		label = fmt.Sprintf("SPA CI (%s)", design)
+	}
+	fmt.Printf("%s: [%.6g, %.6g]\n", label, an.Interval.Lo, an.Interval.Hi)
+	fmt.Printf("width: %.6g\n", an.Interval.Width())
+	fmt.Printf("samples: %d, F=%g, C=%g, property: metric %s v\n", len(an.Samples), p.F, p.C, p.Direction)
+	if dcol != nil {
+		st := dcol.Stats()
+		fmt.Printf("design: %s, pilot runs: %d (scale-reduced), fidelity: %.3g\n",
+			design, st.PilotRuns, st.Fidelity)
+	}
+	if budgetHit {
+		fmt.Printf("note: -runs budget reached before the target width; interval is the widest effort\n")
+	}
 	return nil
 }
 

@@ -49,6 +49,10 @@ type Config struct {
 	Quantum int
 	// PopCache, when non-nil, is shared across every campaign.
 	PopCache *popcache.Cache
+	// Sampling is the default variance-reduction design for adaptive
+	// analyses whose manifests don't choose one ("", "plain",
+	// "stratified" or "rss"); see manifest.Runner.Sampling.
+	Sampling string
 	// Dial optionally replaces the coordinator's dialer (fault
 	// injection).
 	Dial dist.DialFunc
@@ -299,6 +303,7 @@ func (s *Service) execute(ctx context.Context, c *campaign) {
 		Obs:          s.obs,
 		Workers:      s.cfg.Workers,
 		PopCache:     s.cfg.PopCache,
+		Sampling:     s.cfg.Sampling,
 		Coord:        s.coord,
 		StableReport: true,
 		Hooks: manifest.Hooks{

@@ -58,7 +58,7 @@ func AnalyzeToWidthWith(c Collector, p Params, w WidthOptions) (*Analysis, error
 	if w.TargetWidth <= 0 {
 		return nil, errors.New("core: non-positive target width")
 	}
-	minN, err := CIMinSamples(p)
+	minN, err := designMinSamples(c, p)
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +84,14 @@ func AnalyzeToWidthWith(c Collector, p Params, w WidthOptions) (*Analysis, error
 		if err != nil {
 			return err
 		}
+		// The cursor advances by the count we asked for, so a backend that
+		// returns short (or long) would desynchronize the seed range from
+		// the sample count — every later round, and any replay of the
+		// campaign, would disagree about which seed produced which sample.
+		// That contract violation is fatal, not papered over.
+		if len(fresh) != n {
+			return &CollectionSizeError{BaseSeed: w.BaseSeed + next, Requested: n, Returned: len(fresh)}
+		}
 		samples = append(samples, fresh...)
 		next += uint64(n)
 		return nil
@@ -93,7 +101,7 @@ func AnalyzeToWidthWith(c Collector, p Params, w WidthOptions) (*Analysis, error
 		return nil, err
 	}
 	for {
-		iv, err := ConfidenceInterval(samples, p)
+		iv, err := designInterval(c, samples, p)
 		if err != nil {
 			return nil, err
 		}

@@ -150,7 +150,7 @@ func AnalyzeWith(c Collector, p Params, opts Options) (*Analysis, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	minN, err := CIMinSamples(p)
+	minN, err := designMinSamples(c, p)
 	if err != nil {
 		return nil, fmt.Errorf("core: computing minimum samples: %w", err)
 	}
@@ -166,7 +166,10 @@ func AnalyzeWith(c Collector, p Params, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	iv, err := ConfidenceInterval(samples, p)
+	if len(samples) != n {
+		return nil, &CollectionSizeError{BaseSeed: opts.BaseSeed, Requested: n, Returned: len(samples)}
+	}
+	iv, err := designInterval(c, samples, p)
 	if err != nil {
 		return nil, err
 	}

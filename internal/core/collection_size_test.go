@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// shortCollector returns one sample fewer than requested — a broken
+// backend (e.g. a remote collector that dropped an offset) that the
+// adaptive loop must reject instead of silently desynchronizing its
+// seed cursor from the sample count.
+type shortCollector struct{ calls int }
+
+func (s *shortCollector) Collect(baseSeed uint64, n, batch int, h Hooks) ([]float64, error) {
+	s.calls++
+	out := make([]float64, 0, n)
+	for i := 0; i < n-1; i++ {
+		out = append(out, 100+float64(baseSeed)+float64(i))
+	}
+	return out, nil
+}
+
+// TestAnalyzeToWidthShortCollection is the regression test for the seed
+// cursor bug: before the fix, a short-returning Collector advanced the
+// cursor by the requested n anyway, so the loop continued on a
+// desynchronized seed range and returned a "successful" analysis whose
+// samples no longer matched its seeds. Now it must fail with a typed
+// CollectionSizeError on the very first round.
+func TestAnalyzeToWidthShortCollection(t *testing.T) {
+	sc := &shortCollector{}
+	_, err := AnalyzeToWidthWith(sc, Params{F: 0.5, C: 0.9}, WidthOptions{TargetWidth: 1e9})
+	var cse *CollectionSizeError
+	if !errors.As(err, &cse) {
+		t.Fatalf("AnalyzeToWidthWith with a short collector: got err %v, want CollectionSizeError", err)
+	}
+	if cse.Returned != cse.Requested-1 {
+		t.Errorf("CollectionSizeError = %+v, want Returned = Requested-1", cse)
+	}
+	if sc.calls != 1 {
+		t.Errorf("adaptive loop issued %d collects after a short collection, want 1", sc.calls)
+	}
+}
+
+// TestAnalyzeWithShortCollection: the fixed-n entry point enforces the
+// same contract.
+func TestAnalyzeWithShortCollection(t *testing.T) {
+	_, err := AnalyzeWith(&shortCollector{}, Params{F: 0.5, C: 0.9}, Options{Samples: 40})
+	var cse *CollectionSizeError
+	if !errors.As(err, &cse) {
+		t.Fatalf("AnalyzeWith with a short collector: got err %v, want CollectionSizeError", err)
+	}
+	if cse.Requested != 40 || cse.Returned != 39 {
+		t.Errorf("CollectionSizeError = %+v, want 39/40", cse)
+	}
+}
+
+// fakeDesignCollector pins the estimator seam: when a collector carries
+// its own estimator, AnalyzeWith/AnalyzeToWidthWith must build every
+// interval (and the minimum sample count) through it rather than the
+// plain order-statistic construction.
+type fakeDesignCollector struct {
+	intervalCalls int
+	minCalls      int
+}
+
+func (f *fakeDesignCollector) Collect(baseSeed uint64, n, batch int, h Hooks) ([]float64, error) {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(baseSeed) + float64(i)
+	}
+	return out, nil
+}
+
+func (f *fakeDesignCollector) DesignInterval(samples []float64, p Params) (stats.Interval, error) {
+	f.intervalCalls++
+	return stats.Interval{Lo: 1, Hi: 3}, nil
+}
+
+func (f *fakeDesignCollector) DesignMinSamples(p Params) (int, error) {
+	f.minCalls++
+	return 7, nil
+}
+
+func TestDesignCollectorSeam(t *testing.T) {
+	fc := &fakeDesignCollector{}
+	an, err := AnalyzeWith(fc, Params{F: 0.5, C: 0.9}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.intervalCalls == 0 || fc.minCalls == 0 {
+		t.Fatalf("AnalyzeWith bypassed the design estimator (interval calls %d, min calls %d)",
+			fc.intervalCalls, fc.minCalls)
+	}
+	if an.MinSamples != 7 || len(an.Samples) != 7 {
+		t.Errorf("AnalyzeWith ignored DesignMinSamples: MinSamples=%d samples=%d, want 7",
+			an.MinSamples, len(an.Samples))
+	}
+	if an.Interval != (stats.Interval{Lo: 1, Hi: 3}) {
+		t.Errorf("AnalyzeWith interval = %+v, want the design estimator's", an.Interval)
+	}
+
+	fc = &fakeDesignCollector{}
+	an, err = AnalyzeToWidthWith(fc, Params{F: 0.5, C: 0.9}, WidthOptions{TargetWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.intervalCalls == 0 || fc.minCalls == 0 {
+		t.Fatalf("AnalyzeToWidthWith bypassed the design estimator (interval calls %d, min calls %d)",
+			fc.intervalCalls, fc.minCalls)
+	}
+	if len(an.Samples) != 7 {
+		t.Errorf("adaptive loop collected %d samples, want the design minimum 7", len(an.Samples))
+	}
+}

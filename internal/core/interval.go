@@ -74,6 +74,13 @@ type Params struct {
 	Granularity float64
 }
 
+// SideLevel returns the confidence level each one-sided test must reach
+// under p's composition rule. Exported for design estimators
+// (internal/sampling) that must compose their two one-sided tests
+// exactly like the plain construction, or their coverage guarantee
+// would silently diverge from it.
+func (p Params) SideLevel() float64 { return p.sideLevel() }
+
 // sideLevel returns the confidence level each one-sided test must reach.
 func (p Params) sideLevel() float64 {
 	if p.Composition == PerSideC {

@@ -168,9 +168,10 @@ type chunk struct {
 // failed dispatches return their range whole for someone else to carve
 // differently.
 type workQueue struct {
-	mu    sync.Mutex
-	segs  []chunk
-	avail chan struct{} // capacity 1: "work may be available" wakeup
+	mu     sync.Mutex
+	segs   []chunk
+	closed bool
+	avail  chan struct{} // capacity 1: "work may be available" wakeup
 }
 
 func newWorkQueue(n int) *workQueue {
@@ -206,7 +207,7 @@ func (q *workQueue) take(max int) *chunk {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.segs) == 0 {
+	if q.closed || len(q.segs) == 0 {
 		return nil
 	}
 	s := &q.segs[0]
@@ -223,9 +224,30 @@ func (q *workQueue) take(max int) *chunk {
 }
 
 // put returns a failed dispatch's range to the queue and wakes a waiter.
+// A put after close is dropped: the job already completed (the range's
+// offsets committed through another dispatch), so requeuing it would
+// only hand a dead segment to the next idle worker.
 func (q *workQueue) put(ch *chunk) {
 	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
 	q.segs = append(q.segs, chunk{start: ch.start, count: ch.count, attempts: ch.attempts})
+	q.mu.Unlock()
+	q.signal()
+}
+
+// close discards every un-dispatched segment and makes later takes
+// return nil and later puts no-ops. The run state calls it the moment
+// the job finishes or fails, so convergence at the analysis layer —
+// which ends the round by completing the job — cancels queued work
+// instead of letting an idle worker dispatch a stale requeued segment
+// after the result is already decided.
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.segs = nil
 	q.mu.Unlock()
 	q.signal()
 }
@@ -242,14 +264,19 @@ type runState struct {
 	err       error
 	done      chan struct{}
 	closed    bool
+	// queue is the job's work queue, closed together with done so no
+	// idle worker can take (and dispatch) a stale requeued segment after
+	// the job's outcome is already decided.
+	queue *workQueue
 }
 
-func newRunState(n int) *runState {
+func newRunState(n int, queue *workQueue) *runState {
 	return &runState{
 		results:   make([]RunResult, n),
 		got:       make([]bool, n),
 		remaining: n,
 		done:      make(chan struct{}),
+		queue:     queue,
 	}
 }
 
@@ -258,8 +285,8 @@ func newRunState(n int) *runState {
 // closed (finished or failed) and nothing was committed.
 func (st *runState) commit(runs []RunResult) []RunResult {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
+		st.mu.Unlock()
 		return nil
 	}
 	fresh := runs[:0:0]
@@ -272,9 +299,16 @@ func (st *runState) commit(runs []RunResult) []RunResult {
 		st.remaining--
 		fresh = append(fresh, r)
 	}
-	if st.remaining == 0 {
+	finished := st.remaining == 0
+	if finished {
 		st.closed = true
 		close(st.done)
+	}
+	st.mu.Unlock()
+	// Queue teardown happens outside st.mu: close takes the queue lock,
+	// and no queue path takes st.mu, so the lock order stays one-way.
+	if finished && st.queue != nil {
+		st.queue.close()
 	}
 	return fresh
 }
@@ -283,13 +317,17 @@ func (st *runState) commit(runs []RunResult) []RunResult {
 // failures re-dispatching cannot cure).
 func (st *runState) fail(err error) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
+		st.mu.Unlock()
 		return
 	}
 	st.err = err
 	st.closed = true
 	close(st.done)
+	st.mu.Unlock()
+	if st.queue != nil {
+		st.queue.close()
+	}
 }
 
 func (st *runState) finished() (bool, error) {
@@ -324,7 +362,7 @@ func (c *Coordinator) RunCtx(ctx context.Context, job Job, baseSeed uint64, n in
 	}
 
 	queue := newWorkQueue(n)
-	st := newRunState(n)
+	st := newRunState(n, queue)
 	c.beginJob(job, n)
 
 	span := c.Obs.T().StartSpan("dist.job", obs.Str("benchmark", job.Benchmark),
@@ -559,6 +597,14 @@ func (c *Coordinator) dial(addr string) (*conn, error) {
 // dispatch sends one chunk and consumes its result stream. Errors are
 // transport-level unless wrapped in chunkExecError.
 func (c *Coordinator) dispatch(cn *conn, job Job, baseSeed uint64, ch *chunk, st *runState, h population.RunHooks) error {
+	// The job may have completed between carving and here (a slow
+	// duplicate dispatch committing the final offsets): launch nothing —
+	// neither span, ledger increment, nor wire frame.
+	select {
+	case <-st.done:
+		return errJobDone
+	default:
+	}
 	span := c.Obs.T().StartSpan("dist.chunk", obs.Str("worker", cn.addr),
 		obs.Int("start", ch.start), obs.Int("count", ch.count), obs.Int("attempt", ch.attempts))
 	c.Obs.M().Counter(obs.MetricDistChunksDispatched).Inc()

@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/sampling"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -39,10 +40,68 @@ type Analysis struct {
 	// GrowBatch is how many executions each refinement round adds
 	// (0 = the (F, C) minimum again).
 	GrowBatch int `json:"grow_batch,omitempty"`
+	// Sampling selects a variance-reduction collection design for an
+	// adaptive analysis: "plain" (the default), "stratified" or "rss".
+	// Empty defers to the runner-level default. Designs spend a cheap
+	// pilot pass to pick which seeds get full-scale runs, reaching the
+	// target width in fewer executions (see internal/sampling).
+	Sampling string `json:"sampling,omitempty"`
+	// SamplingStrata is the stratum count (stratified) or set size
+	// (rss); 0 = sampling.DefaultStrata.
+	SamplingStrata int `json:"sampling_strata,omitempty"`
+	// SamplingAllocation is the stratified allocation rule:
+	// "proportional" (default) or "neyman".
+	SamplingAllocation string `json:"sampling_allocation,omitempty"`
+	// PilotScale is the workload scale of the pilot pass (0 = half the
+	// campaign scale; smaller pilots are cheaper but rank worse, which
+	// lowers the estimated fidelity and with it the design's savings).
+	PilotScale float64 `json:"pilot_scale,omitempty"`
+	// PilotRuns is the pilot block size fetched per pilot call
+	// (0 = the sampling package default).
+	PilotRuns int `json:"pilot_runs,omitempty"`
+	// Fidelity fixes the estimator's ranking fidelity λ
+	// (0 = estimated from the measured data each round).
+	Fidelity float64 `json:"fidelity,omitempty"`
 }
 
 // Adaptive reports whether the analysis runs the width-refinement loop.
 func (a Analysis) Adaptive() bool { return a.TargetWidth > 0 }
+
+// validateSampling checks the variance-reduction knobs. A design only
+// makes sense on an adaptive analysis — fixed analyses read an existing
+// plain population, which no design produced.
+func (a Analysis) validateSampling() error {
+	d, err := sampling.ParseDesign(a.Sampling)
+	if err != nil {
+		return err
+	}
+	if _, err := sampling.ParseAllocation(a.SamplingAllocation); err != nil {
+		return err
+	}
+	if a.PilotScale < 0 || a.PilotScale > 1 {
+		return fmt.Errorf("manifest: pilot_scale %v outside [0, 1]", a.PilotScale)
+	}
+	if a.SamplingStrata < 0 || a.PilotRuns < 0 {
+		return errors.New("manifest: negative sampling knob")
+	}
+	hasKnobs := a.SamplingStrata != 0 || a.SamplingAllocation != "" ||
+		a.PilotScale != 0 || a.PilotRuns != 0 || a.Fidelity != 0
+	if (d != sampling.Plain || hasKnobs) && !a.Adaptive() {
+		return errors.New("manifest: sampling design requires an adaptive analysis (set target_width)")
+	}
+	if d == sampling.Plain && a.Sampling != "" && hasKnobs {
+		return errors.New("manifest: sampling knobs set with the plain design")
+	}
+	if d != sampling.Plain {
+		opts := sampling.Options{Design: d, Strata: a.SamplingStrata,
+			PilotBlock: a.PilotRuns, Fidelity: a.Fidelity}
+		opts.Allocation, _ = sampling.ParseAllocation(a.SamplingAllocation)
+		if err := opts.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Params converts the analysis to SPA parameters.
 func (a Analysis) Params() (core.Params, error) {
@@ -189,6 +248,9 @@ func (m *Manifest) Validate() error {
 			if minN, err := core.CIMinSamples(p); err == nil && a.MaxSamples < minN {
 				return fmt.Errorf("manifest: analysis %d: max_samples %d below the (F,C) minimum %d", i, a.MaxSamples, minN)
 			}
+		}
+		if err := a.validateSampling(); err != nil {
+			return fmt.Errorf("manifest: analysis %d: %w", i, err)
 		}
 	}
 	return nil

@@ -16,6 +16,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/popcache"
 	"repro/internal/population"
+	"repro/internal/sampling"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -28,6 +30,12 @@ type AnalysisResult struct {
 	Direction string         `json:"direction"`
 	Samples   int            `json:"samples"`
 	Interval  stats.Interval `json:"interval"`
+	// Sampling names the variance-reduction design an adaptive analysis
+	// collected under ("stratified", "rss"); empty for plain collection.
+	Sampling string `json:"sampling,omitempty"`
+	// PilotRuns counts the pilot (proxy) executions the design spent on
+	// top of Samples full-scale runs; zero for plain collection.
+	PilotRuns int `json:"pilot_runs,omitempty"`
 	// TargetWidth/Converged/Rounds describe an adaptive analysis: the
 	// width it refined toward, whether it got there before the sample
 	// budget ran out, and the per-round convergence trajectory. Empty for
@@ -112,7 +120,15 @@ type Runner struct {
 	// fed after. It is content-addressed by the full generation recipe, so
 	// a hit is byte-identical to re-simulating; unlike the per-campaign
 	// OutDir resume files it is shared across campaigns and manifests.
+	// Variance-reduction designs also route their pilot populations and
+	// cumulative measured populations through it, which is what makes a
+	// repeated design campaign nearly free.
 	PopCache *popcache.Cache
+	// Sampling is the default variance-reduction design for adaptive
+	// analyses that don't set their own ("", "plain", "stratified" or
+	// "rss") — the CLIs' -sampling flag and the campaign service's
+	// config land here. Analysis-level settings win.
+	Sampling string
 	// Coord, when non-nil, replaces the runner's own lazily-created
 	// coordinator — the campaign service shares one coordinator (and with
 	// it the worker fleet, its telemetry, and the local parallelism
@@ -375,7 +391,15 @@ func (r *Runner) analyzeAdaptive(ctx context.Context, m *Manifest, e Entry, idx 
 	}
 	baseSeed := m.Seed + uint64(idx)*1_000_000
 	job := dist.Job{Benchmark: e.Benchmark, Config: cfg, Scale: scale}
-	col := r.Coordinator().CollectorCtx(ctx, job, a.Metric)
+	var col core.Collector = r.Coordinator().CollectorCtx(ctx, job, a.Metric)
+	design, dcol, err := r.designCollector(ctx, e, a, cfg, scale, col)
+	if err != nil {
+		return fail(err)
+	}
+	if dcol != nil {
+		col = dcol
+		res.Sampling = design.String()
+	}
 	round := 0
 	hooks := core.Hooks{
 		OnRound: func(samples int, width float64) {
@@ -407,10 +431,75 @@ func (r *Runner) analyzeAdaptive(ctx context.Context, m *Manifest, e Entry, idx 
 	}
 	res.Samples = len(an.Samples)
 	res.Interval = an.Interval
+	if dcol != nil {
+		res.PilotRuns = dcol.Stats().PilotRuns
+	}
 	r.Obs.CIBuilt("SPA", an.Interval.Width(), nil)
 	span.End(obs.Int("samples", res.Samples), obs.F64("width", an.Interval.Width()),
-		obs.Int("rounds", round), obs.Bool("converged", res.Converged))
+		obs.Int("rounds", round), obs.Bool("converged", res.Converged),
+		obs.Str("sampling", res.Sampling), obs.Int("pilot_runs", res.PilotRuns))
 	return res
+}
+
+// designCollector builds the variance-reduction collector for an
+// adaptive analysis, or returns nil when the effective design is plain.
+// The pilot pass runs the same benchmark at a reduced scale through the
+// shared coordinator, with its block populations cached under plain
+// popcache recipes (shared with anything else running that scale) and
+// the cumulative measured population cached under the design recipe —
+// so a repeated campaign re-ranks and re-selects without simulating.
+func (r *Runner) designCollector(ctx context.Context, e Entry, a Analysis, cfg sim.Config, scale float64, full core.Collector) (sampling.Design, *sampling.Collector, error) {
+	s := a.Sampling
+	if s == "" {
+		s = r.Sampling
+	}
+	design, err := sampling.ParseDesign(s)
+	if err != nil {
+		return sampling.Plain, nil, err
+	}
+	if design == sampling.Plain {
+		return design, nil, nil
+	}
+	pilotScale := a.PilotScale
+	if pilotScale == 0 {
+		pilotScale = scale / 2
+	}
+	pilotJob := dist.Job{Benchmark: e.Benchmark, Config: cfg, Scale: pilotScale}
+	pilotCol := r.Coordinator().CollectorCtx(ctx, pilotJob, a.Metric)
+	pilot := func(baseSeed uint64, n int) ([]float64, error) {
+		key := popcache.Key{Benchmark: e.Benchmark, Config: cfg, Scale: pilotScale, BaseSeed: baseSeed, Runs: n}
+		pop, _, err := r.PopCache.GetOrGenerate(key, func() (*population.Population, error) {
+			vals, err := pilotCol.Collect(baseSeed, n, r.Parallelism, core.Hooks{})
+			if err != nil {
+				return nil, err
+			}
+			return &population.Population{Benchmark: e.Benchmark, Runs: len(vals), BaseSeed: baseSeed,
+				Metrics: map[string][]float64{a.Metric: vals}}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return pop.Metric(a.Metric)
+	}
+	alloc, err := sampling.ParseAllocation(a.SamplingAllocation)
+	if err != nil {
+		return design, nil, err
+	}
+	dcol, err := sampling.New(sampling.Options{
+		Design:     design,
+		Strata:     a.SamplingStrata,
+		Allocation: alloc,
+		PilotBlock: a.PilotRuns,
+		Fidelity:   a.Fidelity,
+		Metric:     a.Metric,
+		Cache:      r.PopCache,
+		Recipe: popcache.Key{Benchmark: e.Benchmark, Config: cfg, Scale: scale,
+			PilotScale: pilotScale, ProxyMetric: a.Metric},
+	}, full, pilot)
+	if err != nil {
+		return design, nil, err
+	}
+	return design, dcol, nil
 }
 
 // loadOrGenerate resumes an entry's population from disk or simulates it.
@@ -492,9 +581,13 @@ func (rep *Report) Render(w io.Writer) {
 		}
 		note := ""
 		if res.TargetWidth > 0 {
-			note = "  [adaptive: hit budget]"
+			mode := "adaptive"
+			if res.Sampling != "" {
+				mode += "/" + res.Sampling
+			}
+			note = fmt.Sprintf("  [%s: hit budget]", mode)
 			if res.Converged {
-				note = fmt.Sprintf("  [adaptive: converged in %d rounds]", len(res.Rounds))
+				note = fmt.Sprintf("  [%s: converged in %d rounds]", mode, len(res.Rounds))
 			}
 		}
 		fmt.Fprintf(w, "%-24s %-18s %-5g %-5g %-8s %-14.6g %.6g%s\n",

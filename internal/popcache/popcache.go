@@ -31,12 +31,41 @@ import (
 // Key is the complete recipe of a population. Two keys hash equal iff every
 // field — including every configuration knob — is equal, so a cache hit can
 // only ever return the population the same generation call would produce.
+//
+// The sampling-design fields address populations produced by
+// internal/sampling's variance-reduction collectors: a design-selected
+// measured population differs from the plain population of the same base
+// recipe (different seeds get measured), so the design and every knob
+// that influences seed selection must be part of the content address.
+// They are all omitempty, so a plain recipe marshals — and hashes —
+// byte-identically to before the fields existed and no existing disk
+// cache is invalidated (TestKeyHashStability pins this).
 type Key struct {
 	Benchmark string     `json:"benchmark"`
 	Config    sim.Config `json:"config"`
 	Scale     float64    `json:"scale"`
 	BaseSeed  uint64     `json:"base_seed"`
 	Runs      int        `json:"runs"`
+
+	// Design is the sampling design ("" or "plain" = plain population;
+	// "stratified", "rss" = design-selected measured population).
+	Design string `json:"design,omitempty"`
+	// Strata is the stratum count (stratified) or set size (rss).
+	Strata int `json:"strata,omitempty"`
+	// Allocation is the stratified allocation rule ("proportional" or
+	// "neyman").
+	Allocation string `json:"allocation,omitempty"`
+	// PilotScale is the workload scale of the pilot (proxy) pass.
+	PilotScale float64 `json:"pilot_scale,omitempty"`
+	// PilotRuns is the pilot block size the design fetches at a time.
+	PilotRuns int `json:"pilot_runs,omitempty"`
+	// ProxyMetric is the pilot metric the design ranks by.
+	ProxyMetric string `json:"proxy_metric,omitempty"`
+	// Fidelity is a fixed ranking-fidelity override (0 = estimated from
+	// the measured data). It changes only the interval, not the selected
+	// seeds, but is part of the recipe so cached design populations stay
+	// a pure function of the configuration that produced them.
+	Fidelity float64 `json:"fidelity,omitempty"`
 }
 
 // keyEnvelope versions the hashed representation so a future change to the

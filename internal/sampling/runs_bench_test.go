@@ -1,0 +1,109 @@
+package sampling
+
+// BenchmarkRunsToWidth measures the economic claim behind the
+// variance-reduction designs: how many simulator executions each design
+// needs before AnalyzeToWidth's interval narrows to a fixed target. The
+// target per profile is what the plain construction achieves at 400
+// samples, so "plain" converges near 400 full runs by construction and
+// the design rows show the savings. Three custom metrics feed
+// BENCH_10.json via benchreport:
+//
+//	full-runs/op   full-fidelity executions (the paper's unit of cost)
+//	pilot-runs/op  quarter-scale proxy executions the design spent
+//	run-cost/op    full-runs + pilot-runs scaled by relative simulation
+//	               cost, i.e. total work in full-run equivalents
+//
+// Run with -benchtime=1x: one campaign per sub-benchmark is the
+// measurement — everything is seed-deterministic, so more iterations
+// only repeat the identical campaign.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const (
+	benchScale      = 0.05
+	benchPilotScale = benchScale / 2
+	benchTargetN    = 400
+)
+
+var benchParams = core.Params{F: 0.5, C: 0.9}
+
+// targetWidths memoizes the per-profile target so the three design rows
+// of one profile share a single 400-sample plain calibration.
+var targetWidths sync.Map
+
+func targetWidthFor(b *testing.B, bench string, cfg sim.Config) float64 {
+	b.Helper()
+	if w, ok := targetWidths.Load(bench); ok {
+		return w.(float64)
+	}
+	an, err := core.AnalyzeWith(core.FuncCollector(simRunFunc(bench, cfg, benchScale)),
+		benchParams, core.Options{Samples: benchTargetN, BaseSeed: 1})
+	if err != nil {
+		b.Fatalf("%s: calibrating target width: %v", bench, err)
+	}
+	targetWidths.Store(bench, an.Interval.Width())
+	return an.Interval.Width()
+}
+
+// runsToWidth runs one adaptive campaign under the design and returns
+// (full runs, pilot runs, final sample count).
+func runsToWidth(b *testing.B, bench string, cfg sim.Config, d Design, target float64) (int, int, int) {
+	b.Helper()
+	var fullRuns atomic.Int64
+	counted := core.RunFunc(func(seed uint64) (float64, error) {
+		fullRuns.Add(1)
+		return simRunFunc(bench, cfg, benchScale)(seed)
+	})
+	w := core.WidthOptions{TargetWidth: target, MaxSamples: 4096, BaseSeed: 1}
+
+	if d == Plain {
+		an, err := core.AnalyzeToWidthWith(core.FuncCollector(counted), benchParams, w)
+		if err != nil {
+			b.Fatalf("%s/plain: %v", bench, err)
+		}
+		return int(fullRuns.Load()), 0, len(an.Samples)
+	}
+
+	pilot := PilotFromCollector(core.FuncCollector(simRunFunc(bench, cfg, benchPilotScale)), 0)
+	c, err := New(Options{Design: d}, core.FuncCollector(counted), pilot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := core.AnalyzeToWidthWith(c, benchParams, w)
+	if err != nil {
+		b.Fatalf("%s/%s: %v", bench, d, err)
+	}
+	st := c.Stats()
+	return st.FullRuns, st.PilotRuns, len(an.Samples)
+}
+
+func BenchmarkRunsToWidth(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	for _, bench := range workload.Names() {
+		for _, d := range []Design{Plain, Stratified, RSS} {
+			b.Run(bench+"/"+d.String(), func(b *testing.B) {
+				target := targetWidthFor(b, bench, cfg)
+				var full, pilots, samples int
+				for i := 0; i < b.N; i++ {
+					f, p, n := runsToWidth(b, bench, cfg, d, target)
+					full += f
+					pilots += p
+					samples += n
+				}
+				n := float64(b.N)
+				b.ReportMetric(float64(full)/n, "full-runs/op")
+				b.ReportMetric(float64(pilots)/n, "pilot-runs/op")
+				b.ReportMetric((float64(full)+float64(pilots)*benchPilotScale/benchScale)/n, "run-cost/op")
+				b.ReportMetric(float64(samples)/n, "samples/op")
+			})
+		}
+	}
+}
